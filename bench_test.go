@@ -1,0 +1,424 @@
+package p4runpro
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`), plus micro-benchmarks of
+// the hot paths (packet processing, allocation, linking). The experiment
+// benchmarks wrap internal/experiments at reduced scale so a full -bench
+// pass stays tractable; cmd/experiments regenerates the full-scale tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/experiments"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/programs"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/traffic"
+)
+
+func mustOpen(b *testing.B) *controlplane.Controller {
+	b.Helper()
+	ct, err := Open(DefaultConfig(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ct
+}
+
+// BenchmarkTable1UpdateDelay measures deploy+revoke round trips for every
+// Table 1 program (the modeled update delay is reported by cmd/experiments;
+// here we measure the real compiler work).
+func BenchmarkTable1UpdateDelay(b *testing.B) {
+	for _, spec := range programs.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			ct := mustOpen(b)
+			src := spec.DefaultSource()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ct.Revoke(spec.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7aAllocationDelay measures steady-state allocation cost
+// per workload program on a partially loaded switch.
+func BenchmarkFigure7aAllocationDelay(b *testing.B) {
+	for _, w := range []string{"cache", "lb", "hh"} {
+		w := w
+		b.Run(w, func(b *testing.B) {
+			ct := mustOpen(b)
+			spec, _ := programs.Get(w)
+			params := programs.DefaultParams()
+			// Preload 50 instances so feasibility predicates do real work.
+			for i := 0; i < 50; i++ {
+				name, src := programs.Instantiate(spec, i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatalf("preload %s: %v", name, err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name, src := programs.Instantiate(spec, 1000+i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ct.Revoke(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7bGranularity verifies allocation cost is flat across
+// requested memory sizes (128 B vs 1,024 B).
+func BenchmarkFigure7bGranularity(b *testing.B) {
+	for _, bytes := range []int{128, 256, 512, 1024} {
+		bytes := bytes
+		b.Run(fmt.Sprintf("%dB", bytes), func(b *testing.B) {
+			ct := mustOpen(b)
+			spec, _ := programs.Get("cache")
+			params := programs.Params{MemWords: uint32(bytes / 4), Elastic: 2}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name, src := programs.Instantiate(spec, i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ct.Revoke(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8Utilization runs a full deploy-until-failure sweep per
+// iteration (reduced epoch cap).
+func BenchmarkFigure8Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure8(600)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure9Capacity measures a single capacity run (lb baseline
+// request), the unit of Figure 9.
+func BenchmarkFigure9Capacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ct := mustOpen(b)
+		spec, _ := programs.Get("lb")
+		params := programs.DefaultParams()
+		n := 0
+		for ; n < 600; n++ {
+			_, src := programs.Instantiate(spec, n, params)
+			if _, err := ct.Deploy(src); err != nil {
+				break
+			}
+		}
+		if n < 100 {
+			b.Fatalf("capacity only %d", n)
+		}
+	}
+}
+
+// BenchmarkFigure10StaticResources regenerates the static image report.
+func BenchmarkFigure10StaticResources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure10(); len(r) != 3 {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// BenchmarkTable2LatencyPower regenerates the latency/power table.
+func BenchmarkTable2LatencyPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(); len(r) != 3 {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// BenchmarkFigure11Recirculation exercises actual recirculating forwarding:
+// a calculator SUB op whose deep branch needs a second pass.
+func BenchmarkFigure11Recirculation(b *testing.B) {
+	ct := mustOpen(b)
+	spec, _ := programs.Get("calc")
+	if _, err := ct.Deploy(spec.DefaultSource()); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: pkt.PortCalculator, Proto: pkt.ProtoUDP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkt.NewCalc(flow, pkt.CalcSub, uint32(i), 3)
+		res := ct.SW.Inject(p, 1)
+		if res.Verdict != rmt.VerdictReflected {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkFigure12Objectives measures one all-mixed deployment under each
+// allocation objective on a half-loaded switch — the per-epoch cost whose
+// distribution Figure 12 plots.
+func BenchmarkFigure12Objectives(b *testing.B) {
+	for _, obj := range []core.ObjectiveKind{core.ObjF1, core.ObjF2, core.ObjF3, core.ObjHierarchical} {
+		obj := obj
+		b.Run(obj.String(), func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.Objective = obj
+			ct, err := Open(DefaultConfig(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			all := programs.All()
+			params := programs.DefaultParams()
+			for i := 0; i < 200; i++ {
+				_, src := programs.Instantiate(all[rng.Intn(len(all))], i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatalf("preload %d: %v", i, err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := all[rng.Intn(len(all))]
+				name, src := programs.Instantiate(spec, 10000+i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ct.Revoke(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure13aChurn measures packet forwarding while programs are
+// deployed and revoked concurrently with traffic — the per-packet cost of
+// the runtime-update path.
+func BenchmarkFigure13aChurn(b *testing.B) {
+	ct := mustOpen(b)
+	if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+		b.Fatal(err)
+	}
+	spec, _ := programs.Get("cms")
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(172, 16, 0, 1), DstIP: pkt.IP(10, 200, 0, 1), SrcPort: 9, DstPort: 80, Proto: pkt.ProtoTCP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%512 == 0 {
+			name, src := programs.Instantiate(spec, i, programs.DefaultParams())
+			if _, err := ct.Deploy(src); err != nil {
+				b.Fatal(err)
+			}
+			defer ct.Revoke(name) //nolint:errcheck // cleanup best-effort
+		}
+		res := ct.SW.Inject(pkt.NewTCP(flow, pkt.TCPAck, 256), 1)
+		if res.Verdict != rmt.VerdictForwarded {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkFigure13bCachePath measures the full cache fast path (hit) on
+// the simulated pipeline.
+func BenchmarkFigure13bCachePath(b *testing.B) {
+	ct := mustOpen(b)
+	spec, _ := programs.Get("cache")
+	if _, err := ct.Deploy(spec.DefaultSource()); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: pkt.PortNetCache, Proto: pkt.ProtoUDP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkt.NewNC(flow, pkt.NCRead, 0x8888, 0)
+		if res := ct.SW.Inject(p, 1); res.Verdict != rmt.VerdictReflected {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkFigure13cLBPath measures the load-balancer path.
+func BenchmarkFigure13cLBPath(b *testing.B) {
+	ct := mustOpen(b)
+	spec, _ := programs.Get("lb")
+	if _, err := ct.Deploy(spec.DefaultSource()); err != nil {
+		b.Fatal(err)
+	}
+	for i := uint32(0); i < 256; i++ {
+		if err := ct.WriteMemory("lb", "port_pool", i, i%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(172, 16, 0, 1), DstIP: pkt.IP(10, 0, 0, 7), SrcPort: 4, DstPort: 80, Proto: pkt.ProtoTCP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.SrcPort = uint16(i)
+		if res := ct.SW.Inject(pkt.NewTCP(flow, pkt.TCPAck, 256), 1); res.Verdict != rmt.VerdictForwarded {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkFigure13dHHPath measures the heavy-hitter sketch path.
+func BenchmarkFigure13dHHPath(b *testing.B) {
+	ct := mustOpen(b)
+	spec, _ := programs.Get("hh")
+	if _, err := ct.Deploy(spec.Source("hh", programs.Params{MemWords: 1024, Elastic: 2})); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 0, 0, 1), DstIP: 2, SrcPort: 3, DstPort: 80, Proto: pkt.ProtoTCP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flow.SrcPort = uint16(i % 4096)
+		ct.SW.Inject(pkt.NewTCP(flow, pkt.TCPAck, 256), 1)
+	}
+	b.StopTimer()
+	ct.SW.DrainCPU()
+}
+
+// BenchmarkPipelineForwardOnly is the baseline per-packet cost of the
+// simulated pipeline with a single forwarding program.
+func BenchmarkPipelineForwardOnly(b *testing.B) {
+	ct := mustOpen(b)
+	if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}
+	p := pkt.NewUDP(flow, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.SW.Inject(p, 1)
+	}
+}
+
+// BenchmarkParseMarshal measures the packet codec round trip.
+func BenchmarkParseMarshal(b *testing.B) {
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: pkt.PortNetCache, Proto: pkt.ProtoUDP}
+	frame := pkt.NewNC(flow, pkt.NCRead, 0x8888, 7).Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pkt.Parse(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.Marshal()
+	}
+}
+
+// BenchmarkTraceReplay measures end-to-end replay throughput (packets/op
+// reported via custom metric).
+func BenchmarkTraceReplay(b *testing.B) {
+	cfg := traffic.DefaultConfig()
+	cfg.DurationMs = 200
+	tr := traffic.Generate(cfg)
+	ct := mustOpen(b)
+	if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traffic.Replay(tr, ct.SW, nil, 50)
+	}
+	b.ReportMetric(float64(len(tr.Events)), "packets/op")
+}
+
+// BenchmarkIncrementalUpdate measures the §7-extension runtime case
+// addition/removal round trip on a linked cache program.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	ct := mustOpen(b)
+	spec, _ := programs.Get("cache")
+	if _, err := ct.Deploy(spec.DefaultSource()); err != nil {
+		b.Fatal(err)
+	}
+	caseSrc := `
+case(<har, 1, 0xffffffff>, <sar, 0x4242, 0xffffffff>, <mar, 0, 0xffffffff>) {
+    RETURN;
+    LOADI(mar, 9);
+    MEMREAD(mem1);
+    MODIFY(hdr.nc.value, sar);
+};`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		added, _, err := ct.AddCases("cache", 4, caseSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ct.RemoveCase("cache", added[0].BranchID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainHop measures a two-pass program crossing a two-switch
+// chain, including shim serialization between hops.
+func BenchmarkChainHop(b *testing.B) {
+	ch, err := OpenChain(2, DefaultConfig(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, _ := programs.Get("calc")
+	if _, err := ch.Deploy(spec.DefaultSource()); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: pkt.PortCalculator, Proto: pkt.ProtoUDP}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkt.NewCalc(flow, pkt.CalcSub, uint32(i)+100, 7)
+		if res := ch.Inject(p, 1); res.Verdict != rmt.VerdictReflected {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkAblationRepair measures one allocation on a loaded switch with
+// and without the aggregate-repair loop.
+func BenchmarkAblationRepair(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "repair-on"
+		if disable {
+			name = "repair-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.DefaultOptions()
+			opt.DisableAggregateRepair = disable
+			ct, err := Open(DefaultConfig(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec, _ := programs.Get("nc")
+			params := programs.DefaultParams()
+			for i := 0; i < 100; i++ {
+				_, src := programs.Instantiate(spec, i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatalf("preload: %v", err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name, src := programs.Instantiate(spec, 10000+i, params)
+				if _, err := ct.Deploy(src); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ct.Revoke(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+// Command p4rpctl is the runtime CLI for a p4rpd daemon: deploy and revoke
+// programs, list them, read and write program memory, and show utilization,
+// all over the TCP control protocol.
+//
+// Usage:
+//
+//	p4rpctl [-addr host:9800] deploy file.p4rp
+//	p4rpctl [-addr host:9800] revoke <program>
+//	p4rpctl [-addr host:9800] list
+//	p4rpctl [-addr host:9800] status
+//	p4rpctl [-addr host:9800] util
+//	p4rpctl [-addr host:9800] memread <program> <mem> <addr> [count]
+//	p4rpctl [-addr host:9800] memwrite <program> <mem> <addr> <value>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"p4runpro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9800", "daemon address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "deploy":
+		need(args, 2)
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		results, err := c.Deploy(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("linked %s: id=%d entries=%d alloc=%v update=%v total=%v\n",
+				r.Program, r.ProgramID, r.Entries, r.AllocTime, r.UpdateDelay, r.Total)
+		}
+	case "revoke":
+		need(args, 2)
+		r, err := c.Revoke(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("revoked %s: entries=%d mem-reset=%d update=%v\n", args[1], r.Entries, r.MemReset, r.UpdateDelay)
+	case "list":
+		infos, err := c.Programs()
+		if err != nil {
+			fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tID\tDEPTHS\tENTRIES\tMEM WORDS\tPASSES")
+		for _, i := range infos {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\n", i.Name, i.ProgramID, i.Depths, i.Entries, i.MemWords, i.Passes)
+		}
+		w.Flush()
+	case "status":
+		s, err := c.Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(s)
+	case "util":
+		rows, err := c.Utilization()
+		if err != nil {
+			fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "RPB\tENTRIES\tMEMORY")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%d/%d\t%d/%d (%.1f%%)\n", r.RPB, r.EntriesUsed, r.EntriesCap, r.MemUsed, r.MemCap, r.MemFrac*100)
+		}
+		w.Flush()
+	case "memread":
+		need(args, 4)
+		count := uint32(1)
+		if len(args) > 4 {
+			count = parse32(args[4])
+		}
+		vals, err := c.ReadMemory(args[1], args[2], parse32(args[3]), count)
+		if err != nil {
+			fatal(err)
+		}
+		for i, v := range vals {
+			fmt.Printf("%s[%d] = %d (0x%x)\n", args[2], parse32(args[3])+uint32(i), v, v)
+		}
+	case "memwrite":
+		need(args, 5)
+		if err := c.WriteMemory(args[1], args[2], parse32(args[3]), parse32(args[4])); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "addcase":
+		need(args, 4)
+		src, err := os.ReadFile(args[3])
+		if err != nil {
+			fatal(err)
+		}
+		res, err := c.AddCases(args[1], int(parse32(args[2])), string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("added branches %v: %d entries, update %v\n", res.BranchIDs, res.Entries, res.UpdateDelay)
+	case "removecase":
+		need(args, 3)
+		if err := c.RemoveCase(args[1], int(parse32(args[2]))); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "mcast":
+		need(args, 3)
+		ports := make([]int, 0, len(args)-2)
+		for _, a := range args[2:] {
+			ports = append(ports, int(parse32(a)))
+		}
+		if err := c.SetMulticastGroup(int(parse32(args[1])), ports); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func parse32(s string) uint32 {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad number %q: %v", s, err))
+	}
+	return uint32(v)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: p4rpctl [-addr host:9800] <command>
+commands:
+  deploy <file.p4rp>                       link programs from a source file
+  revoke <program>                         unlink a program
+  list                                     list linked programs
+  status                                   controller status line
+  util                                     per-RPB utilization
+  memread <prog> <mem> <addr> [count]      read program memory
+  memwrite <prog> <mem> <addr> <value>     write program memory
+  addcase <prog> <branch-depth> <file>     add case blocks to a running program
+  removecase <prog> <branch-id>            remove a runtime-added case
+  mcast <group> <port>...                  configure a multicast group`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p4rpctl:", err)
+	os.Exit(1)
+}

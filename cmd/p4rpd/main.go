@@ -1,0 +1,46 @@
+// Command p4rpd runs a simulated P4runpro switch with its control plane and
+// serves the control protocol over TCP — the counterpart of running the
+// prototype's control plane on the switch CPU.
+//
+// Usage:
+//
+//	p4rpd [-listen :9800] [-r N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", ":9800", "control protocol listen address")
+	maxR := flag.Int("r", 1, "maximum recirculation iterations")
+	flag.Parse()
+
+	opt := core.DefaultOptions()
+	opt.MaxRecirc = *maxR
+	ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+	if err != nil {
+		log.Fatalf("p4rpd: provision: %v", err)
+	}
+	srv := wire.NewServer(ct, log.New(os.Stderr, "p4rpd: ", log.LstdFlags))
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("p4rpd: listen: %v", err)
+	}
+	fmt.Printf("p4rpd: switch provisioned (%d RPBs), control plane on %s\n", ct.Plane.M, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("p4rpd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,3 @@
+module p4runpro
+
+go 1.22

@@ -1,0 +1,178 @@
+package activermt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func req(name string, instr, mem int, elastic bool) Request {
+	return Request{Name: name, Instructions: instr, MemoryWords: mem, Elastic: elastic}
+}
+
+func TestAllocateBasic(t *testing.T) {
+	s := New(DefaultConfig())
+	d, err := s.Allocate(req("a", 10, 1024, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("no modeled delay")
+	}
+	if s.Programs() != 1 {
+		t.Error("program not recorded")
+	}
+	if got := s.MemoryUtilization(); got <= 0 || got > 0.01 {
+		t.Errorf("utilization = %f", got)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Allocate(req("x", 99, 100, false)); err == nil {
+		t.Error("too many instructions accepted")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Allocate(req("a", 5, 4096, false)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.MemoryUtilization()
+	if err := s.Revoke("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryUtilization() >= before || s.Programs() != 0 {
+		t.Error("revoke did not free")
+	}
+	if err := s.Revoke("a"); err == nil {
+		t.Error("double revoke accepted")
+	}
+}
+
+// TestElasticRemapping: inelastic programs fill the switch, then admission
+// fails; with elastic residents, remapping admits more.
+func TestElasticRemapping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stages = 4
+	cfg.MemoryWords = 4096
+
+	rigid := New(cfg)
+	n := 0
+	for ; n < 1000; n++ {
+		if _, err := rigid.Allocate(req(fmt.Sprintf("r%d", n), 4, 4096, false)); err != nil {
+			if !errors.Is(err, ErrNoCapacity) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	flex := New(cfg)
+	m := 0
+	for ; m < 1000; m++ {
+		if _, err := flex.Allocate(req(fmt.Sprintf("e%d", m), 4, 4096, true)); err != nil {
+			if !errors.Is(err, ErrNoCapacity) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if m <= n {
+		t.Errorf("elastic capacity %d <= rigid %d (remapping had no effect)", m, n)
+	}
+}
+
+// TestDelayGrowsWithOccupancy: the Figure 7(a) shape — allocation cost
+// rises as residents accumulate and remapping kicks in.
+func TestDelayGrowsWithOccupancy(t *testing.T) {
+	s := New(DefaultConfig())
+	var first, last time.Duration
+	for i := 0; i < 400; i++ {
+		d, err := s.Allocate(req(fmt.Sprintf("p%d", i), 10, 16384, true))
+		if err != nil {
+			break
+		}
+		if i < 10 {
+			first += d
+		}
+		last = d
+	}
+	if last <= first/10 {
+		t.Errorf("delay did not grow: first10 sum=%v last=%v", first, last)
+	}
+}
+
+// TestDelayGrowsWithFinerGranularity: the Figure 7(b) shape.
+func TestDelayGrowsWithFinerGranularity(t *testing.T) {
+	run := func(gran int) time.Duration {
+		cfg := DefaultConfig()
+		cfg.Granularity = gran
+		s := New(cfg)
+		var total time.Duration
+		for i := 0; i < 50; i++ {
+			d, err := s.Allocate(req(fmt.Sprintf("p%d", i), 10, 8192, true))
+			if err != nil {
+				break
+			}
+			total += d
+		}
+		return total
+	}
+	fine, coarse := run(32), run(256)
+	if fine <= coarse {
+		t.Errorf("finer granularity not slower: %v vs %v", fine, coarse)
+	}
+}
+
+func TestCapsuleOverhead(t *testing.T) {
+	s := New(DefaultConfig())
+	small := s.CapsuleOverhead(128)
+	big := s.CapsuleOverhead(1500)
+	if small <= big {
+		t.Error("capsule overhead should hit small packets harder")
+	}
+	if small < 0.1 || small > 0.25 {
+		t.Errorf("128B overhead = %f", small)
+	}
+}
+
+func TestPublishedUpdateDelays(t *testing.T) {
+	for name, wantMs := range map[string]float64{"cache": 194.30, "lb": 225.46, "hh": 228.70} {
+		d, ok := UpdateDelay(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if ms := d.Seconds() * 1000; ms < wantMs-0.01 || ms > wantMs+0.01 {
+			t.Errorf("%s = %.2f ms, want %.2f", name, ms, wantMs)
+		}
+	}
+	if _, ok := UpdateDelay("hll"); ok {
+		t.Error("ActiveRMT does not support hll")
+	}
+}
+
+func TestDeterministicDelays(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(DefaultConfig())
+		var out []time.Duration
+		for i := 0; i < 30; i++ {
+			d, err := s.Allocate(req(fmt.Sprintf("p%d", i), 8, 8192, true))
+			if err != nil {
+				break
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delay at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package flymon
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestAttachDetach(t *testing.T) {
+	s := New(DefaultConfig())
+	d, err := s.Attach("t1", TaskCMS, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := d.Seconds() * 1000; ms < 27.4 || ms > 27.5 {
+		t.Errorf("cms reconfig = %f ms, want 27.46", ms)
+	}
+	total, free := s.Capacity()
+	if total != 27 || free != 25 {
+		t.Errorf("capacity = %d/%d", free, total)
+	}
+	if err := s.Detach("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, free := s.Capacity(); free != 27 {
+		t.Errorf("free after detach = %d", free)
+	}
+	if err := s.Detach("t1"); err == nil {
+		t.Error("double detach accepted")
+	}
+}
+
+func TestScopeLimitation(t *testing.T) {
+	s := New(DefaultConfig())
+	// The paper's core contrast: FlyMon only reconfigures measurement
+	// tasks — a cache or load balancer is out of scope.
+	for _, task := range []TaskType{"cache", "lb", "calc", "firewall"} {
+		if _, err := s.Attach("x", task, 100); !errors.Is(err, ErrUnsupported) {
+			t.Errorf("task %q: err = %v, want unsupported", task, err)
+		}
+	}
+}
+
+func TestCMUExhaustion(t *testing.T) {
+	s := New(DefaultConfig())
+	n := 0
+	for ; n < 100; n++ {
+		if _, err := s.Attach(fmt.Sprintf("t%d", n), TaskCMS, 1024); err != nil {
+			if !errors.Is(err, ErrNoCMU) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if n != 13 { // 27 CMUs / 2 per CMS
+		t.Errorf("attached %d tasks, want 13", n)
+	}
+	if s.Tasks() != 13 {
+		t.Errorf("Tasks() = %d", s.Tasks())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Attach("a", TaskBF, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Attach("a", TaskBF, 1024); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if _, err := s.Attach("b", TaskHLL, 1<<20); err == nil {
+		t.Error("oversized memory accepted")
+	}
+}
+
+func TestPublishedDelays(t *testing.T) {
+	for task, wantMs := range map[TaskType]float64{
+		TaskCMS: 27.46, TaskBF: 32.09, TaskSuMax: 22.88, TaskHLL: 17.37,
+	} {
+		d, ok := ReconfigDelay(task)
+		if !ok {
+			t.Fatalf("missing %s", task)
+		}
+		if ms := d.Seconds() * 1000; ms < wantMs-0.01 || ms > wantMs+0.01 {
+			t.Errorf("%s = %.2f, want %.2f", task, ms, wantMs)
+		}
+	}
+	if _, ok := ReconfigDelay("nat"); ok {
+		t.Error("unknown task has a delay")
+	}
+}

@@ -1,0 +1,222 @@
+// Package controlplane is P4runpro's control plane (paper §3.1): it owns a
+// provisioned switch, exposes the program lifecycle (deploy / revoke /
+// list), performs control-plane memory access through the resource
+// manager's address translation, and reports per-operation deployment
+// delays combining measured compiler time with the modeled data plane
+// update cost.
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"p4runpro/internal/core"
+	"p4runpro/internal/costmodel"
+	"p4runpro/internal/dataplane"
+	"p4runpro/internal/resource"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/smt"
+)
+
+// Controller drives one switch.
+type Controller struct {
+	SW       *rmt.Switch
+	Plane    *dataplane.Plane
+	Compiler *core.Compiler
+}
+
+// New creates a switch with cfg, provisions the P4runpro data plane once
+// (the only reprovisioning the workflow ever needs), and attaches the
+// runtime compiler.
+func New(cfg rmt.Config, opt core.Options) (*Controller, error) {
+	sw := rmt.New(cfg)
+	pl, err := dataplane.Provision(sw)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt)}, nil
+}
+
+// DeployReport quantifies one program deployment (§6.2.1): parsing and
+// allocation are measured on this host; the data plane update delay is
+// modeled by the calibrated control-channel cost model.
+type DeployReport struct {
+	Program     string
+	ProgramID   uint16
+	ParseTime   time.Duration
+	AllocTime   time.Duration
+	Solver      smt.Stats
+	Entries     int
+	UpdateDelay time.Duration
+	Total       time.Duration
+}
+
+// Deploy links every program in src and returns one report per program.
+func (ct *Controller) Deploy(src string) ([]DeployReport, error) {
+	lps, err := ct.Compiler.Link(src)
+	reports := make([]DeployReport, 0, len(lps))
+	for _, lp := range lps {
+		upd := costmodel.LinkUpdateDelay(lp.Stats.EntryCount)
+		reports = append(reports, DeployReport{
+			Program:     lp.Name,
+			ProgramID:   lp.ProgramID,
+			ParseTime:   lp.Stats.ParseTime,
+			AllocTime:   lp.Stats.AllocTime,
+			Solver:      lp.Stats.Solver,
+			Entries:     lp.Stats.EntryCount,
+			UpdateDelay: upd,
+			Total:       lp.Stats.ParseTime + lp.Stats.AllocTime + upd,
+		})
+	}
+	return reports, err
+}
+
+// RevokeReport quantifies one program termination.
+type RevokeReport struct {
+	Program     string
+	Entries     int
+	MemReset    uint32
+	UpdateDelay time.Duration
+}
+
+// Revoke unlinks a program with consistent deletion ordering.
+func (ct *Controller) Revoke(name string) (RevokeReport, error) {
+	st, err := ct.Compiler.Revoke(name)
+	if err != nil {
+		return RevokeReport{}, err
+	}
+	return RevokeReport{
+		Program:     name,
+		Entries:     st.EntriesDeleted,
+		MemReset:    st.MemWordsReset,
+		UpdateDelay: costmodel.RevokeUpdateDelay(st.EntriesDeleted, st.MemWordsReset),
+	}, nil
+}
+
+// AddCases extends a running program's BRANCH at the given depth with new
+// case blocks (incremental update, paper §7), returning modeled update
+// delay alongside the new branch IDs.
+func (ct *Controller) AddCases(program string, branchDepth int, src string) ([]core.AddedCase, time.Duration, error) {
+	added, err := ct.Compiler.AddCases(program, branchDepth, src)
+	entries := 0
+	for _, a := range added {
+		entries += a.Entries
+	}
+	return added, costmodel.LinkUpdateDelay(entries), err
+}
+
+// RemoveCase deletes a runtime-added case branch from a running program.
+func (ct *Controller) RemoveCase(program string, branchID int) error {
+	return ct.Compiler.RemoveCase(program, branchID)
+}
+
+// SetMulticastGroup configures the traffic manager's replication list for
+// the MULTICAST primitive.
+func (ct *Controller) SetMulticastGroup(group int, ports []int) {
+	ct.SW.SetMulticastGroup(group, ports)
+}
+
+// WriteMemory writes one virtual memory bucket of a linked program,
+// translating the virtual address to its physical RPB and offset.
+func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) error {
+	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, vaddr)
+	if err != nil {
+		return err
+	}
+	arr, err := ct.Plane.Array(rpb)
+	if err != nil {
+		return err
+	}
+	return arr.Poke(paddr, value)
+}
+
+// ReadMemory reads one virtual memory bucket of a linked program.
+func (ct *Controller) ReadMemory(program, mem string, vaddr uint32) (uint32, error) {
+	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, vaddr)
+	if err != nil {
+		return 0, err
+	}
+	arr, err := ct.Plane.Array(rpb)
+	if err != nil {
+		return 0, err
+	}
+	return arr.Peek(paddr)
+}
+
+// ReadMemoryRange snapshots [start, start+n) of a program's virtual memory,
+// the resource manager's monitoring path.
+func (ct *Controller) ReadMemoryRange(program, mem string, start, n uint32) ([]uint32, error) {
+	out := make([]uint32, 0, n)
+	if n == 0 {
+		return out, nil
+	}
+	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, start)
+	if err != nil {
+		return nil, err
+	}
+	// Validate the end of the range through translation too.
+	if _, _, err := ct.Compiler.Mgr.Translate(program, mem, start+n-1); err != nil {
+		return nil, err
+	}
+	arr, err := ct.Plane.Array(rpb)
+	if err != nil {
+		return nil, err
+	}
+	return arr.Snapshot(paddr, n)
+}
+
+// ProgramInfo summarizes a linked program for listings.
+type ProgramInfo struct {
+	Name      string
+	ProgramID uint16
+	Depths    int
+	Entries   int
+	MemWords  uint32
+	Passes    int
+	Hits      uint64 // packets matched across the program's entries
+}
+
+// ProgramHits sums the direct counters of every entry a program owns — how
+// much traffic it has processed since linking (per-filter-table hits count
+// once per matched packet; RPB hits count one per executed primitive).
+func (ct *Controller) ProgramHits(name string) uint64 {
+	var total uint64
+	for _, t := range ct.SW.Tables() {
+		total += t.OwnerHits(name)
+	}
+	return total
+}
+
+// Programs lists the linked programs.
+func (ct *Controller) Programs() []ProgramInfo {
+	names := ct.Compiler.Programs()
+	out := make([]ProgramInfo, 0, len(names))
+	for _, n := range names {
+		lp, ok := ct.Compiler.Linked(n)
+		if !ok {
+			continue
+		}
+		out = append(out, ProgramInfo{
+			Name:      lp.Name,
+			ProgramID: lp.ProgramID,
+			Depths:    lp.TP.L(),
+			Entries:   lp.Stats.EntryCount,
+			MemWords:  lp.Stats.MemWords,
+			Passes:    lp.Alloc.MaxPass() + 1,
+			Hits:      ct.ProgramHits(lp.Name),
+		})
+	}
+	return out
+}
+
+// Utilization returns per-RPB dynamic utilization.
+func (ct *Controller) Utilization() []resource.Utilization {
+	return ct.Compiler.Mgr.Snapshot()
+}
+
+// String renders a short status line.
+func (ct *Controller) String() string {
+	mem, ent := ct.Compiler.Mgr.TotalUtilization()
+	return fmt.Sprintf("controller: %d programs, %.1f%% memory, %.1f%% entries",
+		len(ct.Compiler.Programs()), mem*100, ent*100)
+}

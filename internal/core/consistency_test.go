@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"p4runpro/internal/lang"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/resource"
+	"p4runpro/internal/rmt"
+)
+
+// probe sends a cache-read packet and classifies the observed behaviour.
+type behaviour int
+
+const (
+	behaviourNone behaviour = iota // no program matched
+	behaviourOld                   // complete old-program behaviour
+	behaviourNew                   // complete new-program behaviour
+	behaviourMix                   // inconsistent intermediate state
+)
+
+// TestConsistentAddition installs a program entry by entry (replicating the
+// compiler's batch order) and probes the data plane between every step: a
+// cache-hit packet must observe either no program at all or the complete
+// program — never a partial one (paper §4.3, Figure 6).
+func TestConsistentAddition(t *testing.T) {
+	sw, c := newStack(t)
+
+	probe := func() behaviour {
+		p := pkt.NewNC(ncFlow(), pkt.NCRead, 0x8888, 0)
+		res := sw.Inject(p, 1)
+		switch res.Verdict {
+		case rmt.VerdictNoDecision:
+			return behaviourNone
+		case rmt.VerdictReflected:
+			return behaviourNew // full read path incl. RETURN executed
+		}
+		return behaviourMix
+	}
+
+	// Replicate linkOne's steps manually so probes can interleave.
+	file, err := lang.ParseFile(cacheSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(file); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := lang.Translate(file.Programs[0], file.Memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := c.Allocate(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := buildResourceAlloc(t, tp, alloc)
+	if err := c.Mgr.Commit(ra); err != nil {
+		t.Fatal(err)
+	}
+	lp := &LinkedProgram{Name: tp.Name, ProgramID: ra.ProgramID, TP: tp, Alloc: alloc, Resources: ra}
+	plan, err := c.planEntries(tp, alloc, ra.ProgramID, lp.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch order: program components first, initialization block last.
+	var nonInit, init []plannedEntry
+	for _, pe := range plan {
+		if pe.kind == kindInit {
+			init = append(init, pe)
+		} else {
+			nonInit = append(nonInit, pe)
+		}
+	}
+	for i, pe := range nonInit {
+		if b := probe(); b != behaviourNone {
+			t.Fatalf("after %d/%d component entries: behaviour %d, want none (program ID not yet enabled)", i, len(nonInit), b)
+		}
+		if _, err := pe.table.Insert(pe.keys, pe.priority, pe.action, pe.params, tp.Name); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if b := probe(); b != behaviourNone {
+		t.Fatal("all components installed but init absent: program already visible")
+	}
+	for _, pe := range init {
+		if _, err := pe.table.Insert(pe.keys, pe.priority, pe.action, pe.params, tp.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b := probe(); b != behaviourNew {
+		t.Fatalf("after init entries: behaviour %d, want complete program", b)
+	}
+}
+
+func buildResourceAlloc(t *testing.T, tp *lang.TProgram, alloc *AllocResult) *resource.ProgramAlloc {
+	t.Helper()
+	firstAccess := tp.FirstAccessDepth()
+	rpbOf := map[int]resource.RPBID{}
+	for _, pl := range alloc.Placements {
+		rpbOf[pl.Depth] = pl.RPB
+	}
+	ra := &resource.ProgramAlloc{Name: tp.Name, Entries: map[resource.RPBID]int{}}
+	for _, md := range tp.Memories {
+		ra.Blocks = append(ra.Blocks, resource.MemBlock{Name: md.Name, RPB: rpbOf[firstAccess[md.Name]], Size: md.Size})
+	}
+	for d := 1; d <= tp.L(); d++ {
+		if n := tp.EntriesAt(d); n > 0 {
+			ra.Entries[rpbOf[d]] += n
+		}
+	}
+	return ra
+}
+
+// TestConsistentDeletion revokes a program while probing: once the
+// initialization entries are gone, every component stops at once, even
+// though the component entries still physically exist.
+func TestConsistentDeletion(t *testing.T) {
+	sw, c := newStack(t)
+	lp := linkCache(t, c)
+
+	read := func() rmt.Verdict {
+		return sw.Inject(pkt.NewNC(ncFlow(), pkt.NCRead, 0x8888, 0), 1).Verdict
+	}
+	if read() != rmt.VerdictReflected {
+		t.Fatal("program not active before deletion")
+	}
+	// Step 1 of the paper's Figure 6: delete the init-block filters only.
+	deleted := 0
+	for _, e := range lp.entries {
+		if e.kind == kindInit {
+			if err := e.table.Delete(e.id); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+	}
+	if deleted == 0 {
+		t.Fatal("no init entries found")
+	}
+	if v := read(); v != rmt.VerdictNoDecision {
+		t.Fatalf("after init deletion: verdict %v, want no-decision (all components disabled at once)", v)
+	}
+	// The RPB entries still exist but are unreachable without the ID.
+	remaining := 0
+	for _, e := range lp.entries {
+		if e.kind != kindInit {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		t.Fatal("component entries vanished prematurely")
+	}
+	// Finish deletion through the normal path (idempotent for init).
+	for _, e := range lp.entries {
+		if e.kind != kindInit {
+			if err := e.table.Delete(e.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ra, err := c.Mgr.BeginRevoke("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mgr.FinishRevoke(ra); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// addKeyCases builds the read+write case pair for a new cache key.
+func addKeyCases(key uint32, addr uint32) string {
+	return `
+case(<har, 1, 0xffffffff>, <sar, ` + hex(key) + `, 0xffffffff>, <mar, 0, 0xffffffff>) {
+    RETURN;
+    LOADI(mar, ` + dec(addr) + `);
+    MEMREAD(mem1);
+    MODIFY(hdr.nc.value, sar);
+}
+case(<har, 2, 0xffffffff>, <sar, ` + hex(key) + `, 0xffffffff>, <mar, 0, 0xffffffff>) {
+    DROP;
+    LOADI(mar, ` + dec(addr) + `);
+    EXTRACT(hdr.nc.val, sar);
+    MEMWRITE(mem1);
+};
+`
+}
+
+func hex(v uint32) string { return "0x" + itoa(v, 16) }
+func dec(v uint32) string { return itoa(v, 10) }
+
+func itoa(v uint32, base uint32) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var buf [16]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%base]
+		v /= base
+	}
+	return string(buf[i:])
+}
+
+func ncKeyFlow() pkt.FiveTuple {
+	return pkt.FiveTuple{
+		SrcIP: pkt.IP(10, 0, 0, 1), DstIP: pkt.IP(10, 0, 0, 2),
+		SrcPort: 5555, DstPort: pkt.PortNetCache, Proto: pkt.ProtoUDP,
+	}
+}
+
+// TestAddCacheKeyAtRuntime: the paper's §7 example — adding a key-value
+// pair to the running cache — without revoking the program.
+func TestAddCacheKeyAtRuntime(t *testing.T) {
+	sw, c := newStack(t)
+	lp := linkCache(t, c)
+	entriesBefore := lp.Stats.EntryCount
+
+	// The new key is unknown before the update: misses to the server.
+	miss := sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCRead, 0x9999, 0), 1)
+	if miss.Verdict != rmt.VerdictForwarded || miss.OutPort != 32 {
+		t.Fatalf("pre-update: %v port %d", miss.Verdict, miss.OutPort)
+	}
+
+	added, err := c.AddCases("cache", 4, addKeyCases(0x9999, 700))
+	if err != nil {
+		t.Fatalf("AddCases: %v", err)
+	}
+	if len(added) != 2 {
+		t.Fatalf("added %d cases, want 2", len(added))
+	}
+	if lp.Stats.EntryCount <= entriesBefore {
+		t.Error("entry count did not grow")
+	}
+
+	// The original key still works.
+	sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCWrite, 0x8888, 11), 1)
+	oldRead := pkt.NewNC(ncKeyFlow(), pkt.NCRead, 0x8888, 0)
+	if res := sw.Inject(oldRead, 1); res.Verdict != rmt.VerdictReflected || oldRead.NC.Value != 11 {
+		t.Errorf("old key broken after update: %v %d", res.Verdict, oldRead.NC.Value)
+	}
+	// The new key now hits: write then read through the data path.
+	w := sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCWrite, 0x9999, 77), 1)
+	if w.Verdict != rmt.VerdictDropped {
+		t.Fatalf("new-key write: %v", w.Verdict)
+	}
+	r := pkt.NewNC(ncKeyFlow(), pkt.NCRead, 0x9999, 0)
+	if res := sw.Inject(r, 1); res.Verdict != rmt.VerdictReflected || r.NC.Value != 77 {
+		t.Fatalf("new-key read: %v value=%d", res.Verdict, r.NC.Value)
+	}
+	// Its value lives at virtual address 700 of the same block.
+	blk := lp.Blocks()["mem1"]
+	arr, _ := c.Plane.Array(blk.RPB)
+	if v, _ := arr.Peek(blk.Start + 700); v != 77 {
+		t.Errorf("memory[700] = %d", v)
+	}
+}
+
+// TestRemoveCaseAtRuntime: removing an added case disables it atomically
+// and releases its entries.
+func TestRemoveCaseAtRuntime(t *testing.T) {
+	sw, c := newStack(t)
+	lp := linkCache(t, c)
+	added, err := c.AddCases("cache", 4, addKeyCases(0x7777, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesAfterAdd := lp.Stats.EntryCount
+
+	sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCWrite, 0x7777, 5), 1)
+	read := pkt.NewNC(ncKeyFlow(), pkt.NCRead, 0x7777, 0)
+	if res := sw.Inject(read, 1); res.Verdict != rmt.VerdictReflected {
+		t.Fatalf("added key not serving: %v", res.Verdict)
+	}
+
+	// Remove the read case: reads fall back to the miss path, writes (the
+	// other case) still work.
+	if err := c.RemoveCase("cache", added[0].BranchID); err != nil {
+		t.Fatal(err)
+	}
+	if lp.Stats.EntryCount >= entriesAfterAdd {
+		t.Error("entries not released")
+	}
+	if res := sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCRead, 0x7777, 0), 1); res.Verdict != rmt.VerdictForwarded {
+		t.Errorf("removed case still serving: %v", res.Verdict)
+	}
+	if res := sw.Inject(pkt.NewNC(ncKeyFlow(), pkt.NCWrite, 0x7777, 9), 1); res.Verdict != rmt.VerdictDropped {
+		t.Errorf("sibling case broken: %v", res.Verdict)
+	}
+	if err := c.RemoveCase("cache", added[0].BranchID); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+// TestAddCaseValidation: shape mismatches and unknown programs fail cleanly.
+func TestAddCaseValidation(t *testing.T) {
+	_, c := newStack(t)
+	linkCache(t, c)
+	if _, err := c.AddCases("ghost", 4, addKeyCases(1, 1)); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if _, err := c.AddCases("cache", 1, addKeyCases(1, 1)); err == nil {
+		t.Error("non-branch depth accepted")
+	}
+	// A body with a different shape matches no template.
+	bad := `case(<har, 3, 0xffffffff>) { DROP; FORWARD(1); };`
+	if _, err := c.AddCases("cache", 4, bad); err == nil {
+		t.Error("mismatched case shape accepted")
+	}
+	// Nested BRANCH rejected.
+	nested := `case(<har, 3, 0xffffffff>) { BRANCH: case(<sar, 0, 0xffffffff>) { DROP; }; };`
+	if _, err := c.AddCases("cache", 4, nested); err == nil {
+		t.Error("nested BRANCH accepted")
+	}
+	// Undeclared memory rejected.
+	badMem := `case(<har, 1, 0xffffffff>) { RETURN; LOADI(mar, 1); MEMREAD(ghostmem); MODIFY(hdr.nc.value, sar); };`
+	if _, err := c.AddCases("cache", 4, badMem); err == nil {
+		t.Error("undeclared memory accepted")
+	}
+}
+
+// TestAddManyCases: incremental updates accumulate until table capacity,
+// and a full revoke cleans everything up.
+func TestAddManyCases(t *testing.T) {
+	_, c := newStack(t)
+	lp := linkCache(t, c)
+	for i := uint32(0); i < 50; i++ {
+		if _, err := c.AddCases("cache", 4, addKeyCases(0x10000+i, i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if len(lp.addedBranches) != 100 {
+		t.Errorf("added branches = %d", len(lp.addedBranches))
+	}
+	st, err := c.Revoke("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesDeleted != lp.Stats.EntryCount {
+		t.Errorf("revoke deleted %d of %d", st.EntriesDeleted, lp.Stats.EntryCount)
+	}
+	mem, ent := c.Mgr.TotalUtilization()
+	if mem != 0 || ent != 0 {
+		t.Errorf("resources leaked: mem=%f entries=%f", mem, ent)
+	}
+}

@@ -1,0 +1,131 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"p4runpro/internal/dataplane"
+	"p4runpro/internal/rmt"
+)
+
+func provisioned(t *testing.T) *rmt.Switch {
+	t.Helper()
+	sw := rmt.New(rmt.DefaultConfig())
+	if _, err := dataplane.Provision(sw); err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestLinkUpdateDelayCalibration(t *testing.T) {
+	if LinkUpdateDelay(0) != 0 {
+		t.Error("zero entries should cost nothing")
+	}
+	// Table 1 anchors: cache installs ≈19 entries at 11.47 ms; HLL ≈150+
+	// entries around 100-170 ms.
+	cache := LinkUpdateDelay(19)
+	if cache < 8*time.Millisecond || cache > 16*time.Millisecond {
+		t.Errorf("19 entries -> %v, outside the cache row's range", cache)
+	}
+	hll := LinkUpdateDelay(160)
+	if hll < 80*time.Millisecond || hll > 200*time.Millisecond {
+		t.Errorf("160 entries -> %v, outside the HLL row's range", hll)
+	}
+	// Monotone in entries.
+	if LinkUpdateDelay(10) >= LinkUpdateDelay(20) {
+		t.Error("not monotone")
+	}
+}
+
+func TestRevokeUpdateDelay(t *testing.T) {
+	d := RevokeUpdateDelay(19, 1024)
+	if d <= 0 || d >= LinkUpdateDelay(19)*2 {
+		t.Errorf("revoke delay %v implausible", d)
+	}
+	if RevokeUpdateDelay(10, 0) >= RevokeUpdateDelay(10, 65536) {
+		t.Error("memory reset cost missing")
+	}
+}
+
+func TestP4runproImage(t *testing.T) {
+	img := P4runproImage(provisioned(t))
+	if img.System != "P4runpro" {
+		t.Error("system name")
+	}
+	for name, v := range map[string]float64{
+		"PHV": img.PHV, "Hash": img.Hash, "SRAM": img.SRAM, "TCAM": img.TCAM,
+		"VLIW": img.VLIW, "SALU": img.SALU, "LTID": img.LTID,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %f out of [0,1]", name, v)
+		}
+	}
+	// Figure 10 structure: P4runpro nearly exhausts VLIW (atomic-operation
+	// actions), uses all stages' SALUs, and keeps PHV modest.
+	if img.VLIW < 0.5 {
+		t.Errorf("VLIW = %f, expected heavy use", img.VLIW)
+	}
+	if img.SALU != 1.0 {
+		t.Errorf("SALU = %f, every stage hosts an RPB or block", img.SALU)
+	}
+	if img.PHV > 0.3 {
+		t.Errorf("PHV = %f, expected efficient use", img.PHV)
+	}
+}
+
+func TestBaselineImages(t *testing.T) {
+	a, f := ActiveRMTImage(), FlyMonImage()
+	if a.System != "ActiveRMT" || f.System != "FlyMon" {
+		t.Error("names")
+	}
+	// FlyMon is scoped to measurement and uses less of almost everything.
+	if f.VLIW >= a.VLIW || f.TCAM >= a.TCAM {
+		t.Error("FlyMon should be lighter than ActiveRMT")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	sw := provisioned(t)
+	cfg := sw.Config()
+	p4 := P4runproLatencyPower(sw)
+	armt := ActiveRMTLatencyPower(cfg.PowerBudgetWatt)
+	fm := FlyMonLatencyPower(cfg.PowerBudgetWatt)
+
+	if p4.TotalCycles != p4.IngressCycles+p4.EgressCycles {
+		t.Error("cycles don't sum")
+	}
+	// Paper Table 2 magnitudes: around 306/316/622 cycles.
+	if p4.IngressCycles < 250 || p4.IngressCycles > 370 {
+		t.Errorf("ingress cycles = %d", p4.IngressCycles)
+	}
+	if p4.TotalCycles < 550 || p4.TotalCycles > 700 {
+		t.Errorf("total cycles = %d", p4.TotalCycles)
+	}
+	// Power ordering and the headline load comparison: ActiveRMT exceeds
+	// the 40 W budget and gets limited to ~91%; P4runpro stays at 98%.
+	if p4.TotalPower >= armt.TotalPower {
+		t.Errorf("P4runpro power %f >= ActiveRMT %f", p4.TotalPower, armt.TotalPower)
+	}
+	if p4.TrafficLimitLoad < 0.97 || p4.TrafficLimitLoad > 0.99 {
+		t.Errorf("P4runpro load = %f, want ≈0.98", p4.TrafficLimitLoad)
+	}
+	if armt.TrafficLimitLoad > 0.92 || armt.TrafficLimitLoad < 0.90 {
+		t.Errorf("ActiveRMT load = %f, want ≈0.91", armt.TrafficLimitLoad)
+	}
+	if fm.TrafficLimitLoad != 1.0 {
+		t.Errorf("FlyMon load = %f (within budget, no limit)", fm.TrafficLimitLoad)
+	}
+	// P4runpro's egress carries more RPBs than ingress, so more power.
+	if p4.EgressPower <= p4.IngressPower {
+		t.Errorf("egress power %f <= ingress %f", p4.EgressPower, p4.IngressPower)
+	}
+}
+
+func TestTrafficLimitLoad(t *testing.T) {
+	if trafficLimitLoad(30, 40) != 1.0 {
+		t.Error("under budget should be unlimited")
+	}
+	if got := trafficLimitLoad(50, 40); got != 0.8 {
+		t.Errorf("over budget load = %f", got)
+	}
+}

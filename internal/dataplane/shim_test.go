@@ -1,0 +1,103 @@
+package dataplane
+
+import (
+	"testing"
+
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// TestShimEmitAndRestore exercises the chain-mode hooks directly: a switch
+// provisioned with EmitOnRecirc hands a recirculation-flagged packet back
+// with the execution context serialized into the shim; re-injecting the
+// marshaled frame into a second switch restores every field.
+func TestShimEmitAndRestore(t *testing.T) {
+	cfg := rmt.DefaultConfig()
+	cfg.EmitOnRecirc = true
+	first := rmt.New(cfg)
+	plFirst, err := Provision(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := rmt.New(cfg)
+	plSecond, err := Provision(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Program 9 on the first switch: load registers, decide DROP, then
+	// request recirculation (the next hop).
+	path := pkt.BitEthernet | pkt.BitIPv4 | pkt.BitUDP
+	initTbl, _ := plFirst.InitTable(path)
+	keys, _ := FilterKeys(nil, path)
+	if _, err := initTbl.Insert(keys, 0, "set_program", []uint32{9}, "t"); err != nil {
+		t.Fatal(err)
+	}
+	base := func(branch uint32) []rmt.TernaryKey {
+		k := make([]rmt.TernaryKey, 6)
+		k[0] = rmt.Exact(9)
+		k[1] = rmt.Exact(branch)
+		k[2] = rmt.Exact(0)
+		return k
+	}
+	rpb1, _ := plFirst.RPBTable(1)
+	if _, err := rpb1.Insert(base(0), 0, "loadi", []uint32{1, 0xAABB}, "t"); err != nil { // har
+		t.Fatal(err)
+	}
+	rpb2, _ := plFirst.RPBTable(2)
+	if _, err := rpb2.Insert(base(0), 0, "loadi", []uint32{2, 0xCCDD}, "t"); err != nil { // sar
+		t.Fatal(err)
+	}
+	rpb3, _ := plFirst.RPBTable(3)
+	if _, err := rpb3.Insert(base(0), 0, "drop", nil, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plFirst.RecircTable().Insert([]rmt.TernaryKey{rmt.Exact(9), rmt.Exact(0), rmt.Exact(0)}, 0, "recirculate", nil, "t"); err != nil {
+		t.Fatal(err)
+	}
+
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}
+	res := first.Inject(pkt.NewUDP(flow, 200), 1)
+	if res.Verdict != rmt.VerdictNextHop {
+		t.Fatalf("verdict %v, want next-hop", res.Verdict)
+	}
+	if res.Packet.Shim == nil {
+		t.Fatal("no shim attached")
+	}
+	shim := res.Packet.Shim
+	if shim.ProgramID != 9 || shim.HAR != 0xAABB || shim.SAR != 0xCCDD || shim.RecircID != 1 {
+		t.Fatalf("shim = %+v", shim)
+	}
+	if shim.Flags&pkt.ShimDrop == 0 {
+		t.Error("deferred DROP not carried in the shim")
+	}
+
+	// Cross the wire: marshal, re-parse, inject into the second switch.
+	frame := res.Packet.Marshal()
+	p2, err := pkt.Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second switch has an entry for program 9 at recirc=1 that
+	// copies har into the packet, proving the context was restored; the
+	// deferred DROP must still win at the end.
+	rpb1b, _ := plSecond.RPBTable(1)
+	k := make([]rmt.TernaryKey, 6)
+	k[0] = rmt.Exact(9)
+	k[1] = rmt.Exact(0)
+	k[2] = rmt.Exact(1) // second pass
+	fid, _ := plSecond.FieldID("hdr.ipv4.id")
+	if _, err := rpb1b.Insert(k, 0, "modify", []uint32{fid, 1}, "t"); err != nil {
+		t.Fatal(err)
+	}
+	res2 := second.Inject(p2, 5)
+	if res2.Verdict != rmt.VerdictDropped {
+		t.Fatalf("second hop verdict %v, want deferred drop", res2.Verdict)
+	}
+	if p2.IP4.ID != 0xAABB {
+		t.Errorf("restored har not observed: ip.id = %#x", p2.IP4.ID)
+	}
+	if p2.Shim != nil {
+		t.Error("shim not consumed on entry")
+	}
+}

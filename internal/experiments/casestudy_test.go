@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The §6.4 case studies at reduced duration. Each asserts the paper's
+// qualitative claims; cmd/experiments reproduces the full-length series.
+
+func TestFigure13aNoTrafficImpact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study replay")
+	}
+	s := Figure13a(10000)
+	if s.Deployments == 0 {
+		t.Fatal("churn never deployed anything")
+	}
+	// The two RX series must be identical bucket for bucket: runtime
+	// deployment does not touch the running traffic at all.
+	if len(s.Contrast.Values) != len(s.P4runpro.Values) {
+		t.Fatalf("series lengths differ")
+	}
+	for i := range s.Contrast.Values {
+		if math.Abs(s.Contrast.Values[i]-s.P4runpro.Values[i]) > 1e-9 {
+			t.Fatalf("bucket %d: contrast %.3f vs p4runpro %.3f", i, s.Contrast.Values[i], s.P4runpro.Values[i])
+		}
+	}
+}
+
+func TestFigure13bCacheCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study replay")
+	}
+	s := Figure13b(12000)
+	// Steady state: hit rate 0.6 -> 40 Mbps reaches the server.
+	if s.OursSteadyMbps < 36 || s.OursSteadyMbps > 44 {
+		t.Errorf("P4runpro steady RX = %.1f Mbps, want ≈40", s.OursSteadyMbps)
+	}
+	if math.Abs(s.HitRateOurs-0.6) > 0.03 || math.Abs(s.HitRateRef-0.6) > 0.03 {
+		t.Errorf("hit rates %.3f / %.3f, want 0.60", s.HitRateOurs, s.HitRateRef)
+	}
+	// Functional equivalence in steady state.
+	if math.Abs(s.OursSteadyMbps-s.RefSteadyMbps) > 2 {
+		t.Errorf("steady RX differs: %.1f vs %.1f", s.OursSteadyMbps, s.RefSteadyMbps)
+	}
+	// Deployment gap: P4runpro serves the cache immediately after 5 s
+	// while the conventional switch is dark during reprovisioning.
+	bucketAt := func(series []float64, ms float64) float64 {
+		return series[int(ms/bucketMs)]
+	}
+	if v := bucketAt(s.P4runpro.Values, 6000); v < 30 || v > 50 {
+		t.Errorf("P4runpro RX at 6 s = %.1f, want ≈40 (no deployment gap)", v)
+	}
+	if v := bucketAt(s.Conventional.Values, 6000); v != 0 {
+		t.Errorf("conventional RX at 6 s = %.1f, want 0 (reprovisioning)", v)
+	}
+}
+
+func TestFigure13cLBCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study replay")
+	}
+	s := Figure13c(12000)
+	if s.OursMean > 0.12 {
+		t.Errorf("P4runpro imbalance %.3f too high", s.OursMean)
+	}
+	if math.Abs(s.OursMean-s.RefMean) > 0.05 {
+		t.Errorf("imbalance differs: %.3f vs %.3f", s.OursMean, s.RefMean)
+	}
+}
+
+func TestFigure13dHHCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case study replay")
+	}
+	s := Figure13d(20000)
+	if s.TruthSize < 90 || s.TruthSize > 110 {
+		t.Fatalf("ground truth = %d, want ≈100", s.TruthSize)
+	}
+	// Both implementations converge to high F1 and agree with each other
+	// (the §6.4 claim: the mask-step truncated hash matches the native-
+	// width program).
+	if s.FinalF1Ours < 0.9 || s.FinalF1Ref < 0.9 {
+		t.Errorf("final F1: ours %.3f ref %.3f, want ≥0.9", s.FinalF1Ours, s.FinalF1Ref)
+	}
+	if math.Abs(s.FinalF1Ours-s.FinalF1Ref) > 0.05 {
+		t.Errorf("F1 gap %.3f vs %.3f", s.FinalF1Ours, s.FinalF1Ref)
+	}
+	// P4runpro converges earlier (no reprovisioning downtime).
+	firstHigh := func(vals []float64) int {
+		for i, v := range vals {
+			if v >= 0.9 {
+				return i
+			}
+		}
+		return len(vals)
+	}
+	if firstHigh(s.P4runpro.Values) >= firstHigh(s.Conventional.Values) {
+		t.Error("P4runpro did not converge before the conventional program")
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"p4runpro/internal/costmodel"
+	"p4runpro/internal/dataplane"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// Figure10 returns the static resource usage of the three systems' data
+// plane images (PHV, hash units, SRAM, TCAM, VLIW, SALU, LTIDs). The
+// P4runpro column is computed from an actually provisioned switch; the
+// baselines use their published figures.
+func Figure10() []costmodel.ImageReport {
+	sw := rmt.New(rmt.DefaultConfig())
+	if _, err := dataplane.Provision(sw); err != nil {
+		panic(err)
+	}
+	return []costmodel.ImageReport{
+		costmodel.P4runproImage(sw),
+		costmodel.ActiveRMTImage(),
+		costmodel.FlyMonImage(),
+	}
+}
+
+// Table2 returns the latency/power/load comparison.
+func Table2() []costmodel.LatencyPower {
+	cfg := rmt.DefaultConfig()
+	sw := rmt.New(cfg)
+	if _, err := dataplane.Provision(sw); err != nil {
+		panic(err)
+	}
+	return []costmodel.LatencyPower{
+		costmodel.P4runproLatencyPower(sw),
+		costmodel.ActiveRMTLatencyPower(cfg.PowerBudgetWatt),
+		costmodel.FlyMonLatencyPower(cfg.PowerBudgetWatt),
+	}
+}
+
+// RecircRow is one point of Figure 11: throughput and latency impact of
+// recirculation for a packet size and iteration count.
+type RecircRow struct {
+	PktBytes       int
+	Iterations     int
+	ThroughputFrac float64 // max loss-free throughput / line rate
+	ThroughputLoss float64
+	AddedLatencyMs float64
+	NormalizedRTT  float64 // RTT / zero-recirculation RTT
+}
+
+// Figure11 sweeps packet sizes 128–1500 B and recirculation iterations 0–6.
+// The base zero-queue RTT is host-stack dominated (≈21.5 ms in the paper's
+// testbed), so even 6 iterations add only a few percent.
+func Figure11(sizes []int, maxIter int) []RecircRow {
+	if len(sizes) == 0 {
+		sizes = []int{128, 256, 512, 1024, 1500}
+	}
+	const shimBytes = pkt.ShimBytes
+	const baseRTTMs = 21.5
+	cfg := rmt.DefaultConfig()
+	var out []RecircRow
+	for _, s := range sizes {
+		for it := 0; it <= maxIter; it++ {
+			frac, addMs := rmt.RecircLoad(s, it, shimBytes, cfg.PortGbps)
+			out = append(out, RecircRow{
+				PktBytes:       s,
+				Iterations:     it,
+				ThroughputFrac: frac,
+				ThroughputLoss: 1 - frac,
+				AddedLatencyMs: addMs,
+				NormalizedRTT:  (baseRTTMs + addMs) / baseRTTMs,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"p4runpro/internal/baseline/activermt"
+	"p4runpro/internal/core"
+	"p4runpro/internal/programs"
+)
+
+// DelayPoint is one epoch of Figure 7(a).
+type DelayPoint struct {
+	Epoch     int
+	OursMs    float64 // 0 when allocation failed, matching the paper
+	OursNodes int64   // solver search nodes (deterministic flatness signal)
+	BaseMs    float64 // ActiveRMT
+}
+
+// DelaySeries is one workload's allocation-delay trajectory.
+type DelaySeries struct {
+	Workload Workload
+	Points   []DelayPoint
+}
+
+// Smoothed returns the paper's moving-average view (window 31).
+func (s DelaySeries) Smoothed() ([]float64, []float64) {
+	ours := make([]float64, len(s.Points))
+	base := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ours[i], base[i] = p.OursMs, p.BaseMs
+	}
+	return MovingAverage(ours, 31), MovingAverage(base, 31)
+}
+
+// activeRequest maps a workload program onto an ActiveRMT request.
+func activeRequest(spec programs.Spec, i int, p programs.Params) activermt.Request {
+	instrs := map[string]int{"cache": 11, "lb": 9, "hh": 14}[spec.Name]
+	if instrs == 0 {
+		instrs = 10
+	}
+	memBlocks := map[string]int{"cache": 1, "lb": 2, "hh": 4}[spec.Name]
+	return activermt.Request{
+		Name:         fmt.Sprintf("%s_%d", spec.Name, i),
+		Instructions: instrs,
+		MemoryWords:  int(p.MemWords) * memBlocks,
+		Elastic:      spec.Name == "cache", // the paper: ActiveRMT treats cache as elastic
+	}
+}
+
+// Figure7a arranges `epochs` sequential program arrivals of each workload
+// (cache, lb, hh, mixed), averaged over `runs` repetitions, and records the
+// per-epoch allocation delay for P4runpro (measured solver time) and
+// ActiveRMT (its allocator's deterministic cost model). Failed allocations
+// record 0, as in the paper.
+func Figure7a(epochs, runs int) []DelaySeries {
+	out := make([]DelaySeries, 0, len(AllWorkloads))
+	for _, w := range AllWorkloads {
+		series := DelaySeries{Workload: w, Points: make([]DelayPoint, epochs)}
+		for r := 0; r < runs; r++ {
+			rngOurs := rand.New(rand.NewSource(int64(1000 + r)))
+			rngBase := rand.New(rand.NewSource(int64(1000 + r)))
+			ct := newController(defaultOptions())
+			base := activermt.New(activermt.DefaultConfig())
+			params := programs.DefaultParams()
+			for e := 0; e < epochs; e++ {
+				rep, err := deployEpoch(ct, w, e, rngOurs, params)
+				if err == nil {
+					series.Points[e].OursMs += rep.AllocTime.Seconds() * 1000
+					series.Points[e].OursNodes += rep.Solver.Nodes
+				} else if !isAllocFailure(err) {
+					panic(fmt.Sprintf("figure7a %s epoch %d: %v", w, e, err))
+				}
+				spec := workloadSpec(w, rngBase)
+				if d, err := base.Allocate(activeRequest(spec, e, params)); err == nil {
+					series.Points[e].BaseMs += d.Seconds() * 1000
+				} else if !errors.Is(err, activermt.ErrNoCapacity) {
+					panic(fmt.Sprintf("figure7a activermt %s epoch %d: %v", w, e, err))
+				}
+			}
+		}
+		for e := range series.Points {
+			series.Points[e].Epoch = e
+			series.Points[e].OursMs /= float64(runs)
+			series.Points[e].BaseMs /= float64(runs)
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+func isAllocFailure(err error) bool {
+	var ae *core.AllocError
+	return errors.As(err, &ae)
+}
+
+// GranularityRow is one bar group of Figure 7(b): allocation delay versus
+// requested memory granularity under the mixed workload.
+type GranularityRow struct {
+	MemoryBytes int
+	OursAvgMs   float64
+	BaseAvgMs   float64
+}
+
+// Figure7b sweeps the requested memory size from 128 B to 1,024 B under the
+// mixed workload and reports mean allocation delay until first failure.
+// P4runpro's delay is insensitive to the requested size; ActiveRMT's grows
+// at finer granularity (more allocation units to scan and remap).
+func Figure7b(sizes []int, epochs int) []GranularityRow {
+	if len(sizes) == 0 {
+		sizes = []int{128, 256, 512, 1024}
+	}
+	out := make([]GranularityRow, 0, len(sizes))
+	for _, bytes := range sizes {
+		words := uint32(bytes / 4)
+		params := programs.Params{MemWords: words, Elastic: 2}
+
+		ct := newController(defaultOptions())
+		rng := rand.New(rand.NewSource(7))
+		var oursSum float64
+		oursN := 0
+		for e := 0; e < epochs; e++ {
+			rep, err := deployEpoch(ct, WorkloadMixed, e, rng, params)
+			if err != nil {
+				break
+			}
+			oursSum += rep.AllocTime.Seconds() * 1000
+			oursN++
+		}
+
+		// ActiveRMT allocates in fixed units of the requested size.
+		cfg := activermt.DefaultConfig()
+		cfg.Granularity = bytes / 4
+		base := activermt.New(cfg)
+		rngB := rand.New(rand.NewSource(7))
+		var baseSum float64
+		baseN := 0
+		for e := 0; e < epochs; e++ {
+			spec := workloadSpec(WorkloadMixed, rngB)
+			d, err := base.Allocate(activeRequest(spec, e, params))
+			if err != nil {
+				break
+			}
+			baseSum += d.Seconds() * 1000
+			baseN++
+		}
+		row := GranularityRow{MemoryBytes: bytes}
+		if oursN > 0 {
+			row.OursAvgMs = oursSum / float64(oursN)
+		}
+		if baseN > 0 {
+			row.BaseAvgMs = baseSum / float64(baseN)
+		}
+		out = append(out, row)
+	}
+	return out
+}

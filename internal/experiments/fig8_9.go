@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+
+	"p4runpro/internal/baseline/activermt"
+	"p4runpro/internal/core"
+	"p4runpro/internal/programs"
+)
+
+// UtilizationRow is one bar group of Figure 8: resources held when
+// continuous deployment first fails.
+type UtilizationRow struct {
+	Workload   Workload
+	System     string // "P4runpro" or "ActiveRMT"
+	Programs   int    // programs resident at failure
+	MemUtil    float64
+	EntryUtil  float64 // P4runpro only (ActiveRMT has no dynamic entries)
+	FailReason string
+}
+
+// Figure8 deploys each workload until allocation failure and reports final
+// memory and table-entry utilization for P4runpro and ActiveRMT.
+func Figure8(maxEpochs int) []UtilizationRow {
+	var out []UtilizationRow
+	for _, w := range AllWorkloads {
+		// P4runpro.
+		ct := newController(defaultOptions())
+		rng := rand.New(rand.NewSource(21))
+		params := programs.DefaultParams()
+		n := 0
+		reason := "epoch budget exhausted"
+		for ; n < maxEpochs; n++ {
+			if _, err := deployEpoch(ct, w, n, rng, params); err != nil {
+				var ae *core.AllocError
+				if errors.As(err, &ae) {
+					reason = ae.Reason
+				} else {
+					reason = err.Error()
+				}
+				break
+			}
+		}
+		mem, ent := ct.Compiler.Mgr.TotalUtilization()
+		out = append(out, UtilizationRow{
+			Workload: w, System: "P4runpro",
+			Programs: n, MemUtil: mem, EntryUtil: ent, FailReason: reason,
+		})
+
+		// ActiveRMT.
+		base := activermt.New(activermt.DefaultConfig())
+		rngB := rand.New(rand.NewSource(21))
+		bn := 0
+		for ; bn < maxEpochs; bn++ {
+			spec := workloadSpec(w, rngB)
+			if _, err := base.Allocate(activeRequest(spec, bn, params)); err != nil {
+				break
+			}
+		}
+		out = append(out, UtilizationRow{
+			Workload: w, System: "ActiveRMT",
+			Programs: bn, MemUtil: base.MemoryUtilization(),
+			FailReason: "memory exhausted",
+		})
+	}
+	return out
+}
+
+// CapacityRow is one bar of Figure 9: how many program instances run
+// concurrently under a resource request.
+type CapacityRow struct {
+	Workload    Workload
+	MemoryBytes int
+	Elastic     int
+	Capacity    int
+	MemUtil     float64
+	EntryUtil   float64
+}
+
+// CapacityWorkloads are the Figure 9 workloads.
+var CapacityWorkloads = []Workload{WorkloadCache, WorkloadLB, WorkloadHH, WorkloadNC, WorkloadAllMixed}
+
+// Figure9 measures program capacity: the baseline request (1,024 B memory,
+// 2 elastic blocks), then enhanced memory (2,048/4,096 B) and enhanced
+// elastic block counts (16/256).
+func Figure9(maxEpochs int) []CapacityRow {
+	type variant struct {
+		memBytes int
+		elastic  int
+	}
+	variants := []variant{
+		{1024, 2}, {2048, 2}, {4096, 2}, {1024, 16}, {1024, 256},
+	}
+	var out []CapacityRow
+	for _, w := range CapacityWorkloads {
+		for _, v := range variants {
+			params := programs.Params{MemWords: uint32(v.memBytes / 4), Elastic: v.elastic}
+			ct := newController(defaultOptions())
+			rng := rand.New(rand.NewSource(33))
+			n := 0
+			for ; n < maxEpochs; n++ {
+				if _, err := deployEpoch(ct, w, n, rng, params); err != nil {
+					break
+				}
+			}
+			mem, ent := ct.Compiler.Mgr.TotalUtilization()
+			out = append(out, CapacityRow{
+				Workload: w, MemoryBytes: v.memBytes, Elastic: v.elastic,
+				Capacity: n, MemUtil: mem, EntryUtil: ent,
+			})
+		}
+	}
+	return out
+}

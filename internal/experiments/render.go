@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"p4runpro/internal/costmodel"
+)
+
+func table(render func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	render(w)
+	w.Flush()
+	return b.String()
+}
+
+// RenderTable1 prints the Table 1 reproduction.
+func RenderTable1(rows []Table1Row) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Program\tLoC ours\t(paper)\tLoC P4\tUpdate ms\t(paper)\tOthers ms")
+		for _, r := range rows {
+			other := "-"
+			if r.OtherMs > 0 {
+				other = fmt.Sprintf("%.2f (%s)", r.OtherMs, r.OtherSystem)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\t%s\n",
+				r.Title, r.OursLoC, r.PaperOursLoC, r.P4LoC, r.UpdateMs, r.PaperUpdateMs, other)
+		}
+	})
+}
+
+// RenderFigure7a prints the smoothed allocation-delay series, sampled.
+func RenderFigure7a(series []DelaySeries, every int) string {
+	if every < 1 {
+		every = 1
+	}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Workload\tEpoch\tP4runpro ms\tActiveRMT ms")
+		for _, s := range series {
+			ours, base := s.Smoothed()
+			for i := 0; i < len(ours); i += every {
+				fmt.Fprintf(w, "%s\t%d\t%.3f\t%.3f\n", s.Workload, i, ours[i], base[i])
+			}
+		}
+	})
+}
+
+// RenderFigure7b prints the granularity sweep.
+func RenderFigure7b(rows []GranularityRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Memory B\tP4runpro avg ms\tActiveRMT avg ms")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", r.MemoryBytes, r.OursAvgMs, r.BaseAvgMs)
+		}
+	})
+}
+
+// RenderFigure8 prints the utilization-at-failure comparison.
+func RenderFigure8(rows []UtilizationRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Workload\tSystem\tPrograms\tMem util\tEntry util\tFailure")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.1f%%\t%.1f%%\t%s\n",
+				r.Workload, r.System, r.Programs, r.MemUtil*100, r.EntryUtil*100, r.FailReason)
+		}
+	})
+}
+
+// RenderFigure9 prints the capacity matrix.
+func RenderFigure9(rows []CapacityRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Workload\tMem B\tElastic\tCapacity\tMem util\tEntry util")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f%%\t%.1f%%\n",
+				r.Workload, r.MemoryBytes, r.Elastic, r.Capacity, r.MemUtil*100, r.EntryUtil*100)
+		}
+	})
+}
+
+// RenderFigure10 prints the static resource comparison.
+func RenderFigure10(reports []costmodel.ImageReport) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "System\tPHV\tHash\tSRAM\tTCAM\tVLIW\tSALU\tLTID")
+		for _, r := range reports {
+			fmt.Fprintf(w, "%s\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\n",
+				r.System, r.PHV*100, r.Hash*100, r.SRAM*100, r.TCAM*100, r.VLIW*100, r.SALU*100, r.LTID*100)
+		}
+	})
+}
+
+// RenderTable2 prints latency/power/load.
+func RenderTable2(rows []costmodel.LatencyPower) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "System\tLatency cycles (in/eg/total)\tPower W (in/eg/total)\tLoad")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d/%d/%d\t%.2f/%.2f/%.2f\t%.0f%%\n",
+				r.System, r.IngressCycles, r.EgressCycles, r.TotalCycles,
+				r.IngressPower, r.EgressPower, r.TotalPower, r.TrafficLimitLoad*100)
+		}
+	})
+}
+
+// RenderFigure11 prints the recirculation sweep.
+func RenderFigure11(rows []RecircRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Pkt B\tRecirc\tThroughput\tLoss\tAdded ms\tNorm RTT")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.1f%%\t%.2f\t%.3f\n",
+				r.PktBytes, r.Iterations, r.ThroughputFrac*100, r.ThroughputLoss*100,
+				r.AddedLatencyMs, r.NormalizedRTT)
+		}
+	})
+}
+
+// RenderFigure12 prints the objective comparison.
+func RenderFigure12(rows []ObjectiveRow) string {
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Objective\tCapacity\tMem util\tEntry util\tAvg alloc ms\tMax alloc ms")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%.1f%%\t%.3f\t%.3f\n",
+				r.Objective, r.Capacity, r.MemUtil*100, r.EntryUtil*100, r.AvgDelayMs, r.MaxDelayMs)
+		}
+	})
+}
+
+// RenderHeatmap prints a Figures 18/19-style ASCII heatmap: segments as
+// columns, RPBs as rows, utilization in deciles 0-9.
+func RenderHeatmap(h HeatmapData, mem bool) string {
+	var b strings.Builder
+	kind := "table entries"
+	grid := h.Entries
+	if mem {
+		kind = "memory"
+		grid = h.Mem
+	}
+	fmt.Fprintf(&b, "objective %s: per-RPB %s utilization (rows=RPB 1..M, cols=%d-epoch segments, 0-9 deciles)\n",
+		h.Objective, kind, h.SegmentSz)
+	if len(grid) == 0 {
+		b.WriteString("  (no complete segment)\n")
+		return b.String()
+	}
+	rpbs := len(grid[0])
+	for r := 0; r < rpbs; r++ {
+		fmt.Fprintf(&b, "  RPB%02d ", r+1)
+		for _, seg := range grid {
+			d := int(seg[r] * 10)
+			if d > 9 {
+				d = 9
+			}
+			fmt.Fprintf(&b, "%d", d)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSeries prints a rate/score series, sampled every n buckets.
+func RenderSeries(name string, s interface{ Times() []float64 }, values []float64, every int, unit string) string {
+	if every < 1 {
+		every = 1
+	}
+	var b strings.Builder
+	times := s.Times()
+	fmt.Fprintf(&b, "%s (t[s] -> %s):", name, unit)
+	for i := 0; i < len(values); i += every {
+		fmt.Fprintf(&b, " %.1f:%.1f", times[i], values[i])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

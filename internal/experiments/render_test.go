@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p4runpro/internal/traffic"
+)
+
+func TestRenderers(t *testing.T) {
+	t1, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderTable1(t1); !strings.Contains(out, "HyperLogLog") {
+		t.Error("table1 render missing rows")
+	}
+	if out := RenderFigure7b(Figure7b([]int{128}, 5)); !strings.Contains(out, "128") {
+		t.Error("fig7b render missing rows")
+	}
+	if out := RenderFigure10(Figure10()); !strings.Contains(out, "P4runpro") {
+		t.Error("fig10 render missing rows")
+	}
+	if out := RenderTable2(Table2()); !strings.Contains(out, "ActiveRMT") {
+		t.Error("table2 render missing rows")
+	}
+	if out := RenderFigure11(Figure11([]int{128}, 2)); !strings.Contains(out, "128") {
+		t.Error("fig11 render missing rows")
+	}
+	series := Figure7a(35, 1)
+	if out := RenderFigure7a(series, 10); !strings.Contains(out, "cache") {
+		t.Error("fig7a render missing rows")
+	}
+	h := HeatmapData{Objective: "f1", SegmentSz: 100,
+		Mem: [][]float64{{0.1, 0.95}}, Entries: [][]float64{{0.5, 0.2}}}
+	if out := RenderHeatmap(h, true); !strings.Contains(out, "RPB01") {
+		t.Error("heatmap render missing rows")
+	}
+	if out := RenderHeatmap(HeatmapData{Objective: "f2"}, false); !strings.Contains(out, "no complete segment") {
+		t.Error("empty heatmap not handled")
+	}
+	s := traffic.Series{BucketMs: 50, Values: []float64{1, 2, 3}}
+	if out := RenderSeries("probe", s, s.Values, 1, "Mbps"); !strings.Contains(out, "probe") {
+		t.Error("series render broken")
+	}
+}
+
+func TestIngressEntryPressure(t *testing.T) {
+	h := HeatmapData{Entries: [][]float64{{0.9, 0.8, 0.1, 0.2}}}
+	in, eg := IngressEntryPressure(h, 2)
+	if in <= eg {
+		t.Errorf("pressure in=%f eg=%f", in, eg)
+	}
+	if in, eg := IngressEntryPressure(HeatmapData{}, 2); in != 0 || eg != 0 {
+		t.Error("empty heatmap pressure")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{0, 0, 10, 0, 0}
+	sm := MovingAverage(xs, 3)
+	if sm[2] <= sm[0] || sm[1] == 0 {
+		t.Errorf("smoothed = %v", sm)
+	}
+	if got := MovingAverage(xs, 0); got[2] != 10 {
+		t.Error("window<1 should be identity")
+	}
+}

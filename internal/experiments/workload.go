@@ -1,0 +1,102 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6, Appendix C) on the simulated stack: Table 1 (LoC and
+// update delay), Figures 7a/7b (allocation delay), Figure 8 (utilization),
+// Figure 9 (program capacity), Figure 10 (static resources), Table 2
+// (latency/power/load), Figure 11 (recirculation impact), Figure 12 and
+// Figures 18/19 (objective comparison and per-RPB heatmaps), and the four
+// Figure 13 case studies.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/programs"
+	"p4runpro/internal/rmt"
+)
+
+// Workload names the deployment mixes of §6.2.
+type Workload string
+
+// Workloads.
+const (
+	WorkloadCache    Workload = "cache"
+	WorkloadLB       Workload = "lb"
+	WorkloadHH       Workload = "hh"
+	WorkloadMixed    Workload = "mixed"    // random of cache/lb/hh per epoch
+	WorkloadNC       Workload = "nc"       // the most complex program
+	WorkloadAllMixed Workload = "allmixed" // random of all 15 per epoch
+)
+
+// AllWorkloads lists the §6.2.1/6.2.2 workloads.
+var AllWorkloads = []Workload{WorkloadCache, WorkloadLB, WorkloadHH, WorkloadMixed}
+
+// workloadSpec draws the program spec for epoch i of a workload.
+func workloadSpec(w Workload, rng *rand.Rand) programs.Spec {
+	pick := func(name string) programs.Spec {
+		s, ok := programs.Get(name)
+		if !ok {
+			panic("experiments: unknown program " + name)
+		}
+		return s
+	}
+	switch w {
+	case WorkloadCache, WorkloadLB, WorkloadHH, WorkloadNC:
+		return pick(string(w))
+	case WorkloadMixed:
+		return pick([]string{"cache", "lb", "hh"}[rng.Intn(3)])
+	case WorkloadAllMixed:
+		all := programs.All()
+		return all[rng.Intn(len(all))]
+	}
+	panic("experiments: unknown workload " + string(w))
+}
+
+func defaultOptions() core.Options { return core.DefaultOptions() }
+
+// newController builds a fresh default stack.
+func newController(opt core.Options) *controlplane.Controller {
+	ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: provision: %v", err))
+	}
+	return ct
+}
+
+// deployEpoch deploys instance i of workload w, returning the report or the
+// allocation error.
+func deployEpoch(ct *controlplane.Controller, w Workload, i int, rng *rand.Rand, p programs.Params) (controlplane.DeployReport, error) {
+	spec := workloadSpec(w, rng)
+	name, src := programs.Instantiate(spec, i, p)
+	reports, err := ct.Deploy(src)
+	if err != nil {
+		return controlplane.DeployReport{Program: name}, err
+	}
+	return reports[0], nil
+}
+
+// MovingAverage smooths a series with the paper's window (31 in Fig. 7a).
+func MovingAverage(xs []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(xs))
+	half := window / 2
+	for i := range xs {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sum := 0.0
+		for _, v := range xs[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package hashing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// check values from the standard CRC catalogue for the ASCII test vector
+// "123456789".
+var catalogue = []struct {
+	params CRC16Params
+	check  uint16
+}{
+	{CRC16Buypass, 0xFEE8},
+	{CRC16MCRF4XX, 0x6F91},
+	{CRC16AugCCITT, 0xE5CC},
+	{CRC16DDS110, 0x9ECF},
+	{CRC16CCITTFalse, 0x29B1},
+}
+
+func TestCRC16CheckValues(t *testing.T) {
+	vector := []byte("123456789")
+	for _, c := range catalogue {
+		got := NewCRC16(c.params).Sum(vector)
+		if got != c.check {
+			t.Errorf("%s: Sum(check vector) = %04X, want %04X", c.params.Name, got, c.check)
+		}
+	}
+}
+
+func TestCRC32CheckValue(t *testing.T) {
+	// CRC-32/IEEE catalogue check value.
+	if got := NewCRC32().Sum([]byte("123456789")); got != 0xCBF43926 {
+		t.Errorf("CRC32 = %08X, want CBF43926", got)
+	}
+}
+
+func TestCRC16Determinism(t *testing.T) {
+	c := NewCRC16(CRC16Buypass)
+	a := c.Sum([]byte("hello world"))
+	b := c.Sum([]byte("hello world"))
+	if a != b {
+		t.Error("same input, different sums")
+	}
+	if c.Sum([]byte("hello worle")) == a {
+		t.Error("single-byte change did not alter sum (suspicious)")
+	}
+}
+
+func TestAlgorithmsDiffer(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	seen := map[uint16]string{}
+	for _, p := range StandardCRC16 {
+		v := NewCRC16(p).Sum(data)
+		if prev, dup := seen[v]; dup {
+			t.Errorf("%s and %s collide on the probe input", p.Name, prev)
+		}
+		seen[v] = p.Name
+	}
+}
+
+// TestUniformity: CRC outputs over sequential inputs spread evenly across
+// buckets — the property the paper's mask-based truncation relies on.
+func TestUniformity(t *testing.T) {
+	const buckets = 64
+	for _, p := range StandardCRC16 {
+		c := NewCRC16(p)
+		counts := make([]int, buckets)
+		n := 16384
+		for i := 0; i < n; i++ {
+			b := []byte{byte(i), byte(i >> 8), byte(i >> 16), 0x5A}
+			counts[c.Sum(b)%buckets]++
+		}
+		want := n / buckets
+		for b, got := range counts {
+			if got < want/2 || got > want*2 {
+				t.Errorf("%s: bucket %d has %d of ~%d", p.Name, b, got, want)
+			}
+		}
+	}
+}
+
+// TestTruncationPreservesCollisions verifies the FlyMon/§6.4 claim: for a
+// uniform hash, truncating a wide output with a mask yields the same
+// collision rate as a natively narrower hash. We compare the collision
+// count of masked 16-bit CRC to the birthday-bound expectation.
+func TestTruncationPreservesCollisions(t *testing.T) {
+	// CRCs are linear, so low-entropy sequential probes would land in a
+	// small affine subspace after masking; like real 5-tuples, the probe
+	// inputs must be high-entropy.
+	const width = 1024
+	u := NewUnit16(0, CRC16Buypass)
+	mask := u.MaskFor(width)
+	seen := make(map[uint32]int)
+	n := 2048
+	collisions := 0
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		b := make([]byte, 13)
+		rng.Read(b)
+		h := u.SumMasked(b, mask)
+		if h >= width {
+			t.Fatalf("masked output %d >= %d", h, width)
+		}
+		collisions += seen[h]
+		seen[h]++
+	}
+	// Expected pairwise collisions ≈ n(n-1)/(2*width) ≈ 2046.
+	expected := n * (n - 1) / (2 * width)
+	if collisions < expected/2 || collisions > expected*2 {
+		t.Errorf("collisions = %d, expected ≈ %d", collisions, expected)
+	}
+}
+
+func TestUnitWidths(t *testing.T) {
+	u16 := NewUnit16(3, CRC16MCRF4XX)
+	if u16.ID != 3 || u16.Width != 16 || u16.Algorithm() != "crc_16_mcrf4xx" {
+		t.Errorf("unit16 = %+v", u16)
+	}
+	if u16.Sum([]byte{1, 2, 3}) > 0xFFFF {
+		t.Error("16-bit unit exceeded width")
+	}
+	u32 := NewUnit32(1)
+	if u32.Width != 32 || u32.Algorithm() != "crc_32_ieee" {
+		t.Errorf("unit32 = %+v", u32)
+	}
+	if u32.SumWord(0x12345678) == u32.SumWord(0x12345679) {
+		t.Error("word hash insensitive to input")
+	}
+}
+
+func TestMaskForValidation(t *testing.T) {
+	u := NewUnit16(0, CRC16Buypass)
+	if m := u.MaskFor(1024); m != 1023 {
+		t.Errorf("MaskFor(1024) = %d", m)
+	}
+	for _, bad := range []uint32{0, 3, 1000, 1 << 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MaskFor(%d) did not panic", bad)
+				}
+			}()
+			u.MaskFor(bad)
+		}()
+	}
+	u32 := NewUnit32(0)
+	if m := u32.MaskFor(1 << 20); m != 1<<20-1 {
+		t.Errorf("32-bit MaskFor = %d", m)
+	}
+}
+
+// TestReflectProperty: reflecting twice is the identity (guards the table
+// construction for reflected algorithms).
+func TestReflectProperty(t *testing.T) {
+	f := func(v uint16) bool { return reflect16(reflect16(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalConsistency: CRC over concatenation is a pure function of
+// bytes (no hidden state between calls).
+func TestIncrementalConsistency(t *testing.T) {
+	f := func(a, b []byte) bool {
+		c1 := NewCRC16(CRC16DDS110)
+		c2 := NewCRC16(CRC16DDS110)
+		joined := append(append([]byte{}, a...), b...)
+		return c1.Sum(joined) == c2.Sum(joined)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

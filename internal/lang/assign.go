@@ -1,0 +1,163 @@
+package lang
+
+import "sort"
+
+// assignment is the result of one depth-assignment walk over the translated
+// statement tree.
+type assignment struct {
+	items      []*aItem
+	accesses   []*aAccess
+	links      map[[2]int]bool
+	maxDepth   int
+	nextBranch int
+}
+
+type aItem struct {
+	prim    *Prim
+	branch  int
+	depth   int
+	caseIDs []int
+}
+
+// aAccess records one memory-primitive occurrence for the cross-branch
+// alignment pass.
+type aAccess struct {
+	mem       string
+	occ       int
+	depth     int
+	container *Case
+	idx       int // index of the memory primitive within container.Body
+}
+
+// assignDepths walks the tree rooted at a synthetic Case, assigning each
+// primitive an execution depth (1-based) and each case block a branch ID.
+// Case bodies and the post-BRANCH continuation both start at the BRANCH
+// depth + 1; paths never re-join (a matched case permanently switches the
+// branch ID, so the continuation acts as the miss/default path).
+func assignDepths(root *Case) *assignment {
+	a := &assignment{links: make(map[[2]int]bool), nextBranch: 1}
+	a.walk(root, 0, 1, map[string]int{}, map[string]int{})
+	return a
+}
+
+func (a *assignment) walk(c *Case, branch, depth int, occ, lastAt map[string]int) {
+	for i := 0; i < len(c.Body); i++ {
+		p := c.Body[i].(*Prim)
+		it := &aItem{prim: p, branch: branch, depth: depth}
+		if p.Op.IsMemory() {
+			o := occ[p.Mem]
+			occ[p.Mem] = o + 1
+			a.accesses = append(a.accesses, &aAccess{mem: p.Mem, occ: o, depth: depth, container: c, idx: i})
+			if prev, ok := lastAt[p.Mem]; ok {
+				a.links[[2]int{prev, depth}] = true
+			}
+			lastAt[p.Mem] = depth
+		}
+		if p.Op == OpBranch {
+			it.caseIDs = make([]int, len(p.Cases))
+			for k, cs := range p.Cases {
+				id := a.nextBranch
+				a.nextBranch++
+				it.caseIDs[k] = id
+				a.walk(cs, id, depth+1, copyInts(occ), copyInts(lastAt))
+			}
+		}
+		a.items = append(a.items, it)
+		if depth > a.maxDepth {
+			a.maxDepth = depth
+		}
+		depth++
+	}
+}
+
+func copyInts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// memLinks returns the deduplicated sequential same-memory depth pairs.
+func (a *assignment) memLinks() [][2]int {
+	out := make([][2]int, 0, len(a.links))
+	for l := range a.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// padForAlignment finds same-(memory, occurrence) accesses sitting at
+// different depths in exclusive branches and pads the shallow ones with NOPs
+// inserted just before their offset step (Figure 5(b): "nop" after LOADI in
+// the middle branch aligns MEMREAD and MEMWRITE). It reports whether any
+// padding was applied; callers re-assign depths and repeat to fixpoint.
+func padForAlignment(a *assignment) bool {
+	type groupKey struct {
+		mem string
+		occ int
+	}
+	groups := make(map[groupKey][]*aAccess)
+	for _, acc := range a.accesses {
+		k := groupKey{acc.mem, acc.occ}
+		groups[k] = append(groups[k], acc)
+	}
+	type insertion struct {
+		container *Case
+		idx       int
+		n         int
+	}
+	var ins []insertion
+	for _, g := range groups {
+		target := 0
+		for _, acc := range g {
+			if acc.depth > target {
+				target = acc.depth
+			}
+		}
+		for _, acc := range g {
+			if acc.depth < target {
+				// Insert before the offset step preceding the memory
+				// primitive (idx-1); fall back to the primitive itself.
+				at := acc.idx - 1
+				if at < 0 || offsetOf(acc.container.Body[at]) != acc.mem {
+					at = acc.idx
+				}
+				ins = append(ins, insertion{acc.container, at, target - acc.depth})
+			}
+		}
+	}
+	if len(ins) == 0 {
+		return false
+	}
+	// Apply per container in descending index order so earlier insertions
+	// do not invalidate later indices.
+	sort.Slice(ins, func(i, j int) bool { return ins[i].idx > ins[j].idx })
+	for _, in := range ins {
+		body := in.container.Body
+		pad := make([]Stmt, in.n)
+		for i := range pad {
+			pad[i] = &Prim{Op: OpNop}
+		}
+		newBody := make([]Stmt, 0, len(body)+in.n)
+		newBody = append(newBody, body[:in.idx]...)
+		newBody = append(newBody, pad...)
+		newBody = append(newBody, body[in.idx:]...)
+		in.container.Body = newBody
+	}
+	return true
+}
+
+func offsetOf(s Stmt) string {
+	p := s.(*Prim)
+	if p.Op == OpOffset {
+		return p.Mem
+	}
+	return ""
+}

@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"p4runpro/internal/pkt"
+)
+
+// MetaFields lists the intrinsic metadata fields programs may reference in
+// filters and header-interaction primitives, alongside the parsed header
+// fields of package pkt.
+var MetaFields = map[string]bool{
+	"meta.ingress_port": true,
+	"meta.qdepth":       true,
+	"meta.pkt_len":      true,
+}
+
+// KnownField reports whether a field name is resolvable on the data plane.
+func KnownField(name string) bool {
+	return pkt.KnownField(name) || MetaFields[name]
+}
+
+// CheckError aggregates semantic errors found in one file.
+type CheckError struct {
+	Errs []error
+}
+
+func (e *CheckError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d semantic errors:", len(e.Errs))
+	for _, err := range e.Errs {
+		b.WriteString("\n\t")
+		b.WriteString(err.Error())
+	}
+	return b.String()
+}
+
+// Check performs the semantic and type checks the compiler runs while
+// building the AST (paper §4.3 "Syntax and Semantics Check"): declared
+// memories are power-of-two sized and unique, every referenced memory is
+// declared, fields resolve, registers are valid (enforced by the grammar),
+// branch nesting stays within the 8-bit branch-ID space, and forwarding
+// ports are within chip range.
+func Check(f *File) error {
+	var errs []error
+	fail := func(pos Pos, format string, args ...any) {
+		errs = append(errs, errAt(pos, format, args...))
+	}
+
+	mems := make(map[string]MemDecl)
+	for _, m := range f.Memories {
+		if _, dup := mems[m.Name]; dup {
+			fail(m.Pos, "memory %q declared twice", m.Name)
+			continue
+		}
+		if m.Size&(m.Size-1) != 0 {
+			fail(m.Pos, "memory %q: size %d is not a power of two (required by mask-based address translation)", m.Name, m.Size)
+		}
+		mems[m.Name] = m
+	}
+
+	names := make(map[string]bool)
+	for _, prog := range f.Programs {
+		if names[prog.Name] {
+			fail(prog.Pos, "program %q declared twice", prog.Name)
+		}
+		names[prog.Name] = true
+		if len(prog.Filters) == 0 {
+			fail(prog.Pos, "program %q has no traffic filter", prog.Name)
+		}
+		for _, flt := range prog.Filters {
+			if !KnownField(flt.Field) {
+				fail(flt.Pos, "filter references unknown field %q", flt.Field)
+			}
+		}
+		branches := 0
+		var walk func(list []Stmt)
+		walk = func(list []Stmt) {
+			for _, s := range list {
+				prim, ok := s.(*Prim)
+				if !ok {
+					continue
+				}
+				switch prim.Op {
+				case OpExtract, OpModify:
+					if !KnownField(prim.Field) {
+						fail(prim.Pos, "%s references unknown field %q", prim.Op, prim.Field)
+					}
+					if prim.Op == OpModify && MetaFields[prim.Field] {
+						fail(prim.Pos, "MODIFY cannot write intrinsic metadata field %q", prim.Field)
+					}
+				case OpHash5TupleMem, OpHashMem, OpMemAdd, OpMemSub, OpMemAnd,
+					OpMemOr, OpMemRead, OpMemWrite, OpMemMax:
+					if _, ok := mems[prim.Mem]; !ok {
+						fail(prim.Pos, "%s references undeclared memory %q", prim.Op, prim.Mem)
+					}
+				case OpForward:
+					if prim.Port > 255 {
+						fail(prim.Pos, "FORWARD port %d out of range [0,255]", prim.Port)
+					}
+				case OpMulticast:
+					if prim.Imm == 0 || prim.Imm > 255 {
+						fail(prim.Pos, "MULTICAST group %d out of range [1,255]", prim.Imm)
+					}
+				case OpBranch:
+					for _, c := range prim.Cases {
+						branches++
+						if len(c.Conds) == 0 {
+							fail(c.Pos, "case block has no conditions")
+						}
+						seen := map[Reg]bool{}
+						for _, cond := range c.Conds {
+							if seen[cond.Reg] {
+								fail(cond.Pos, "case repeats condition on register %s", cond.Reg)
+							}
+							seen[cond.Reg] = true
+						}
+						walk(c.Body)
+					}
+				case OpAdd, OpAnd, OpOr, OpMax, OpMin, OpXor, OpMove, OpSub,
+					OpEqual, OpSgt, OpSlt:
+					if prim.R0 == prim.R1 {
+						fail(prim.Pos, "%s requires two distinct registers", prim.Op)
+					}
+				}
+			}
+		}
+		walk(prog.Body)
+		if branches > 4094 {
+			fail(prog.Pos, "program %q uses %d case blocks; branch-ID space allows 4094", prog.Name, branches)
+		}
+	}
+	if len(errs) > 0 {
+		return &CheckError{Errs: errs}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes P4runpro source. Identifiers may contain dots (header
+// field references such as hdr.udp.dst_port are single tokens); integers may
+// be binary (0b), hexadecimal (0x), or decimal; dotted quads lex as IP
+// address literals.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input.
+func Lex(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch c {
+	case '@':
+		l.advance()
+		return Token{Kind: TokAt, Pos: pos}, nil
+	case '(':
+		l.advance()
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		l.advance()
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		l.advance()
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		l.advance()
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '<':
+		l.advance()
+		return Token{Kind: TokLAngle, Pos: pos}, nil
+	case '>':
+		l.advance()
+		return Token{Kind: TokRAngle, Pos: pos}, nil
+	case ',':
+		l.advance()
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		l.advance()
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ':':
+		l.advance()
+		return Token{Kind: TokColon, Pos: pos}, nil
+	}
+	if isDigit(c) {
+		return l.lexNumberOrIP(pos)
+	}
+	if isIdentStart(c) {
+		return l.lexIdent(pos)
+	}
+	return Token{}, errAt(pos, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) lexIdent(pos Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && (isIdentPart(l.peek()) || l.peek() == '.') {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	switch text {
+	case "program":
+		return Token{Kind: TokProgram, Text: text, Pos: pos}, nil
+	case "case":
+		return Token{Kind: TokCase, Text: text, Pos: pos}, nil
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+}
+
+func (l *Lexer) lexNumberOrIP(pos Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && (isHexDigit(l.peek()) || l.peek() == 'x' || l.peek() == 'X' || l.peek() == 'b' || l.peek() == 'B' || l.peek() == '.') {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if strings.Count(text, ".") == 3 {
+		v, err := parseIPLiteral(text)
+		if err != nil {
+			return Token{}, errAt(pos, "bad IP address literal %q: %v", text, err)
+		}
+		return Token{Kind: TokIP, Text: text, Val: uint64(v), Pos: pos}, nil
+	}
+	if strings.Contains(text, ".") {
+		return Token{}, errAt(pos, "malformed numeric literal %q", text)
+	}
+	v, err := parseIntLiteral(text)
+	if err != nil {
+		return Token{}, errAt(pos, "bad integer literal %q: %v", text, err)
+	}
+	return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}, nil
+}
+
+func parseIntLiteral(s string) (uint64, error) {
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		return strconv.ParseUint(s[2:], 16, 64)
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		return strconv.ParseUint(s[2:], 2, 64)
+	default:
+		return strconv.ParseUint(s, 10, 64)
+	}
+}
+
+func parseIPLiteral(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("want 4 octets, got %d", len(parts))
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("octet %q: %v", p, err)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return v, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool   { return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,190 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// cacheSrc is the paper's Figure 2 in-network cache program, verbatim in
+// structure (one 64-bit key 0x8888, value bucket at virtual address 512).
+const cacheSrc = `
+@ mem1 1024
+program cache(
+    /*filtering traffic*/
+    <hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);   //get opcode
+    EXTRACT(hdr.nc.key1, sar); //get key[0:31]
+    EXTRACT(hdr.nc.key2, mar); //get key[32:63]
+    BRANCH:
+    /*cache hit and cache read*/
+    case(<har, 1, 0xffffffff>,
+         <sar, 0x8888, 0xffffffff>,
+         <mar, 0, 0xffffffff>) {
+        RETURN;            //return to client
+        LOADI(mar, 512);   //load address
+        MEMREAD(mem1);     //read cache
+        MODIFY(hdr.nc.value, sar);
+    }
+    /*cache hit and cache write*/
+    case(<har, 2, 0xffffffff>,
+         <sar, 0x8888, 0xffffffff>,
+         <mar, 0, 0xffffffff>) {
+        DROP;              //drop the packet
+        LOADI(mar, 512);   //load address
+        EXTRACT(hdr.nc.val, sar); //get value
+        MEMWRITE(mem1);    //write cache
+    };
+    FORWARD(32); //cache miss
+}
+`
+
+func parseCache(t *testing.T) *File {
+	t.Helper()
+	f, err := ParseFile(cacheSrc)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return f
+}
+
+func TestParseCacheProgram(t *testing.T) {
+	f := parseCache(t)
+	if len(f.Memories) != 1 || f.Memories[0].Name != "mem1" || f.Memories[0].Size != 1024 {
+		t.Fatalf("memories = %+v", f.Memories)
+	}
+	if len(f.Programs) != 1 {
+		t.Fatalf("programs = %d", len(f.Programs))
+	}
+	p := f.Programs[0]
+	if p.Name != "cache" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Filters) != 1 {
+		t.Fatalf("filters = %+v", p.Filters)
+	}
+	flt := p.Filters[0]
+	if flt.Field != "hdr.udp.dst_port" || flt.Value != 7777 || flt.Mask != 0xffff {
+		t.Errorf("filter = %+v", flt)
+	}
+	// Body: 3 EXTRACT, 1 BRANCH, 1 FORWARD.
+	if len(p.Body) != 5 {
+		t.Fatalf("body statements = %d, want 5", len(p.Body))
+	}
+	br := p.Body[3].(*Prim)
+	if br.Op != OpBranch || len(br.Cases) != 2 {
+		t.Fatalf("branch = %+v", br)
+	}
+	if len(br.Cases[0].Conds) != 3 {
+		t.Errorf("case0 conds = %d", len(br.Cases[0].Conds))
+	}
+	if br.Cases[0].Conds[0].Reg != HAR || br.Cases[0].Conds[0].Value != 1 {
+		t.Errorf("case0 cond0 = %+v", br.Cases[0].Conds[0])
+	}
+	fw := p.Body[4].(*Prim)
+	if fw.Op != OpForward || fw.Port != 32 {
+		t.Errorf("forward = %+v", fw)
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks, err := Lex("0x10 0b101 42 10.0.0.1 0xffffffff")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []uint64{0x10, 5, 42, 0x0A000001, 0xffffffff}
+	for i, w := range want {
+		if toks[i].Val != w {
+			t.Errorf("tok %d = %d, want %d", i, toks[i].Val, w)
+		}
+	}
+	if toks[3].Kind != TokIP {
+		t.Errorf("tok 3 kind = %v, want IP", toks[3].Kind)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "/* unterminated", "1.2.3", "0x"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no program
+		"program p() {}",                       // empty filter list
+		"program p(<hdr.ipv4.dst, 1, 0xff>) {", // unterminated
+		"program p(<hdr.ipv4.dst, 1, 0xff>) { BOGUS; }",
+		"program p(<hdr.ipv4.dst, 1, 0xff>) { LOADI(har); }",      // arity
+		"program p(<hdr.ipv4.dst, 1, 0xff>) { BRANCH: ; }",        // no cases
+		"program p(<hdr.ipv4.dst, 1, 0xff>) { EXTRACT(x, pqr); }", // bad register
+	}
+	for _, src := range cases {
+		if _, err := ParseFile(src); err == nil {
+			t.Errorf("ParseFile(%q): expected error", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared memory": `program p(<hdr.ipv4.dst, 1, 0xff>) { MEMREAD(nope); }`,
+		"bad field":         `program p(<hdr.bogus.x, 1, 0xff>) { DROP; }`,
+		"non-pow2 memory":   "@ m 1000\nprogram p(<hdr.ipv4.dst, 1, 0xff>) { MEMREAD(m); }",
+		"dup register":      `program p(<hdr.ipv4.dst, 1, 0xff>) { ADD(har, har); }`,
+		"modify meta":       `program p(<hdr.ipv4.dst, 1, 0xff>) { MODIFY(meta.qdepth, har); }`,
+		"port range":        `program p(<hdr.ipv4.dst, 1, 0xff>) { FORWARD(999); }`,
+	}
+	for name, src := range cases {
+		f, err := ParseFile(src)
+		if err != nil {
+			t.Errorf("%s: parse failed early: %v", name, err)
+			continue
+		}
+		if err := Check(f); err == nil {
+			t.Errorf("%s: Check passed, expected error", name)
+		}
+	}
+}
+
+func TestElasticCaseParsing(t *testing.T) {
+	src := `
+program p(<hdr.ipv4.dst, 1, 0xff>) {
+    EXTRACT(hdr.ipv4.dst, har);
+    BRANCH:
+    case(<har, 1, 0xffffffff>) { FORWARD(1); }
+    elastic case(<har, 2, 0xffffffff>) { FORWARD(2); }
+}
+`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	br := f.Programs[0].Body[1].(*Prim)
+	if len(br.Cases) != 2 {
+		t.Fatalf("cases = %d", len(br.Cases))
+	}
+	if br.Cases[0].Elastic || !br.Cases[1].Elastic {
+		t.Errorf("elastic flags = %v, %v", br.Cases[0].Elastic, br.Cases[1].Elastic)
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	src := strings.Join([]string{
+		"program p(<hdr.ipv4.dst, 1, 0xff>) {",
+		"    // comment only",
+		"",
+		"    DROP;",
+		"    //<elastic>",
+		"    case(<har, 1, 0xffffffff>) { FORWARD(1); }",
+		"    //</elastic>",
+		"}",
+	}, "\n")
+	if got := CountLoC(src); got != 3 {
+		t.Errorf("CountLoC = %d, want 3", got)
+	}
+}

@@ -1,0 +1,297 @@
+package lang
+
+import "fmt"
+
+// Reg names one of the three PHV registers P4runpro arranges for stateless
+// program variables (paper §4.1.2).
+type Reg int
+
+// Registers.
+const (
+	RegNone Reg = iota
+	HAR         // hash register
+	SAR         // stateful-ALU register
+	MAR         // memory address register
+)
+
+func (r Reg) String() string {
+	switch r {
+	case HAR:
+		return "har"
+	case SAR:
+		return "sar"
+	case MAR:
+		return "mar"
+	case RegNone:
+		return "none"
+	}
+	return fmt.Sprintf("reg(%d)", int(r))
+}
+
+// ParseReg maps a source identifier to a register.
+func ParseReg(s string) (Reg, bool) {
+	switch s {
+	case "har":
+		return HAR, true
+	case "sar":
+		return SAR, true
+	case "mar":
+		return MAR, true
+	}
+	return RegNone, false
+}
+
+// Op identifies a primitive or pseudo primitive (paper Table 3), plus the
+// internal operations the compiler inserts (offset step, nop, supportive-
+// register backup/restore).
+type Op int
+
+// Primitive operations.
+const (
+	OpInvalid Op = iota
+
+	// Header interaction.
+	OpExtract // EXTRACT(field, reg): reg = field
+	OpModify  // MODIFY(field, reg): field = reg
+
+	// Hash.
+	OpHash5Tuple    // har = hash(5_tuple)
+	OpHash          // har = hash(har)
+	OpHash5TupleMem // mar = (bit<width>)hash(5_tuple), mask step fused
+	OpHashMem       // mar = (bit<width>)hash(har), mask step fused
+
+	// Conditional branch.
+	OpBranch
+
+	// Memory.
+	OpMemAdd
+	OpMemSub
+	OpMemAnd
+	OpMemOr
+	OpMemRead
+	OpMemWrite
+	OpMemMax
+
+	// Arithmetic and logic (hardware primitives).
+	OpLoadI // LOADI(reg, i): reg = i
+	OpAdd
+	OpAnd
+	OpOr
+	OpMax
+	OpMin
+	OpXor
+
+	// Pseudo primitives (expanded before allocation).
+	OpMove
+	OpNot
+	OpSub
+	OpEqual
+	OpSgt
+	OpSlt
+	OpAddI
+	OpAndI
+	OpXorI
+	OpSubI
+
+	// Forwarding.
+	OpForward
+	OpDrop
+	OpReturn
+	OpReport
+	// OpMulticast is this reproduction's §7 extension: the paper notes
+	// SwitchML-style in-network aggregation "requires only modifying
+	// P4runpro to support multicast".
+	OpMulticast
+
+	// Internal operations inserted by translation.
+	OpNop     // depth alignment filler
+	OpOffset  // address-translation offset step: physaddr = mar + base(mid)
+	OpBackup  // supportive-register backup to the hidden PHV field
+	OpRestore // supportive-register restore
+)
+
+var opNames = map[Op]string{
+	OpExtract: "EXTRACT", OpModify: "MODIFY",
+	OpHash5Tuple: "HASH_5_TUPLE", OpHash: "HASH",
+	OpHash5TupleMem: "HASH_5_TUPLE_MEM", OpHashMem: "HASH_MEM",
+	OpBranch: "BRANCH",
+	OpMemAdd: "MEMADD", OpMemSub: "MEMSUB", OpMemAnd: "MEMAND", OpMemOr: "MEMOR",
+	OpMemRead: "MEMREAD", OpMemWrite: "MEMWRITE", OpMemMax: "MEMMAX",
+	OpLoadI: "LOADI", OpAdd: "ADD", OpAnd: "AND", OpOr: "OR",
+	OpMax: "MAX", OpMin: "MIN", OpXor: "XOR",
+	OpMove: "MOVE", OpNot: "NOT", OpSub: "SUB", OpEqual: "EQUAL",
+	OpSgt: "SGT", OpSlt: "SLT",
+	OpAddI: "ADDI", OpAndI: "ANDI", OpXorI: "XORI", OpSubI: "SUBI",
+	OpForward: "FORWARD", OpDrop: "DROP", OpReturn: "RETURN", OpReport: "REPORT",
+	OpMulticast: "MULTICAST",
+	OpNop:       "NOP", OpOffset: "OFFSET", OpBackup: "BACKUP", OpRestore: "RESTORE",
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	// Internal ops are not writable in source programs.
+	delete(m, "NOP")
+	delete(m, "OFFSET")
+	delete(m, "BACKUP")
+	delete(m, "RESTORE")
+	return m
+}()
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp maps a source primitive name to its Op.
+func ParseOp(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+// IsPseudo reports whether the op is a pseudo primitive that the translator
+// expands into hardware primitives.
+func (o Op) IsPseudo() bool {
+	switch o {
+	case OpMove, OpNot, OpSub, OpEqual, OpSgt, OpSlt, OpAddI, OpAndI, OpXorI, OpSubI:
+		return true
+	}
+	return false
+}
+
+// IsForwarding reports whether the op modifies traffic-manager intrinsic
+// metadata and is therefore restricted to ingress RPBs (§4.3 constraint 4).
+func (o Op) IsForwarding() bool {
+	switch o {
+	case OpForward, OpDrop, OpReturn, OpReport, OpMulticast:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the op accesses stateful memory through the SALU.
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpMemAdd, OpMemSub, OpMemAnd, OpMemOr, OpMemRead, OpMemWrite, OpMemMax:
+		return true
+	}
+	return false
+}
+
+// ArgKind types a primitive argument (paper Table 4).
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgField ArgKind = iota // header or intrinsic metadata field
+	ArgIdent                // memory identifier
+	ArgImm                  // 32-bit unsigned immediate
+	ArgReg                  // har / mar / sar
+	ArgPort                 // egress port (immediate, validated against chip)
+)
+
+// signature maps each source-writable op to its argument kinds.
+var signatures = map[Op][]ArgKind{
+	OpExtract:       {ArgField, ArgReg},
+	OpModify:        {ArgField, ArgReg},
+	OpHash5Tuple:    {},
+	OpHash:          {},
+	OpHash5TupleMem: {ArgIdent},
+	OpHashMem:       {ArgIdent},
+	OpMemAdd:        {ArgIdent},
+	OpMemSub:        {ArgIdent},
+	OpMemAnd:        {ArgIdent},
+	OpMemOr:         {ArgIdent},
+	OpMemRead:       {ArgIdent},
+	OpMemWrite:      {ArgIdent},
+	OpMemMax:        {ArgIdent},
+	OpLoadI:         {ArgReg, ArgImm},
+	OpAdd:           {ArgReg, ArgReg},
+	OpAnd:           {ArgReg, ArgReg},
+	OpOr:            {ArgReg, ArgReg},
+	OpMax:           {ArgReg, ArgReg},
+	OpMin:           {ArgReg, ArgReg},
+	OpXor:           {ArgReg, ArgReg},
+	OpMove:          {ArgReg, ArgReg},
+	OpNot:           {ArgReg},
+	OpSub:           {ArgReg, ArgReg},
+	OpEqual:         {ArgReg, ArgReg},
+	OpSgt:           {ArgReg, ArgReg},
+	OpSlt:           {ArgReg, ArgReg},
+	OpAddI:          {ArgReg, ArgImm},
+	OpAndI:          {ArgReg, ArgImm},
+	OpXorI:          {ArgReg, ArgImm},
+	OpSubI:          {ArgReg, ArgImm},
+	OpForward:       {ArgPort},
+	OpDrop:          {},
+	OpReturn:        {},
+	OpReport:        {},
+	OpMulticast:     {ArgImm},
+}
+
+// Signature returns the argument kinds of a source-writable op.
+func Signature(o Op) ([]ArgKind, bool) {
+	s, ok := signatures[o]
+	return s, ok
+}
+
+// readsReg reports whether the primitive reads register r before any write
+// to it — used by the register-lifetime analysis that elides supportive-
+// register backups (paper §4.2).
+func (p Prim) readsReg(r Reg) bool {
+	switch p.Op {
+	case OpModify:
+		return p.R0 == r
+	case OpExtract:
+		return false // writes R0 only
+	case OpHash:
+		return r == HAR
+	case OpHash5Tuple, OpHash5TupleMem:
+		return false
+	case OpHashMem:
+		return r == HAR
+	case OpBranch:
+		return true // BRANCH inspects all three registers
+	case OpMemAdd, OpMemSub, OpMemAnd, OpMemOr, OpMemWrite, OpMemMax:
+		return r == SAR || r == MAR
+	case OpMemRead:
+		return r == MAR
+	case OpLoadI:
+		return false
+	case OpAdd, OpAnd, OpOr, OpMax, OpMin, OpXor:
+		return p.R0 == r || p.R1 == r
+	case OpForward, OpDrop, OpReturn, OpReport, OpNop, OpOffset:
+		return p.Op == OpOffset && r == MAR
+	case OpBackup:
+		return p.R0 == r
+	case OpRestore:
+		return false
+	}
+	// Pseudo primitives read conservatively.
+	return p.R0 == r || p.R1 == r
+}
+
+// writesReg reports whether the primitive overwrites register r.
+func (p Prim) writesReg(r Reg) bool {
+	switch p.Op {
+	case OpExtract:
+		return p.R0 == r
+	case OpHash, OpHash5Tuple:
+		return r == HAR
+	case OpHash5TupleMem, OpHashMem:
+		return r == MAR
+	case OpMemAdd, OpMemSub, OpMemAnd, OpMemOr, OpMemRead:
+		return r == SAR
+	case OpLoadI:
+		return p.R0 == r
+	case OpAdd, OpAnd, OpOr, OpMax, OpMin, OpXor:
+		return p.R0 == r
+	case OpRestore:
+		return p.R0 == r
+	}
+	return false
+}

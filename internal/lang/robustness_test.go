@@ -1,0 +1,179 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics mutates a valid program thousands of ways —
+// truncation, byte flips, token deletion — and requires the front end to
+// return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	base := cacheSrc
+	for i := 0; i < 3000; i++ {
+		b := []byte(base)
+		switch i % 3 {
+		case 0: // truncate
+			b = b[:rng.Intn(len(b))]
+		case 1: // flip printable bytes
+			for j := 0; j < 5; j++ {
+				pos := rng.Intn(len(b))
+				b[pos] = byte(32 + rng.Intn(95))
+			}
+		case 2: // delete a random span
+			lo := rng.Intn(len(b))
+			hi := lo + rng.Intn(len(b)-lo)
+			b = append(b[:lo:lo], b[hi:]...)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutation %d: %v\ninput: %q", i, r, string(b))
+				}
+			}()
+			f, err := ParseFile(string(b))
+			if err != nil {
+				return
+			}
+			if err := Check(f); err != nil {
+				return
+			}
+			for _, p := range f.Programs {
+				_, _ = Translate(p, f.Memories)
+			}
+		}()
+	}
+}
+
+// TestTranslateIdempotentOnAST: Translate never mutates the caller's AST
+// (it deep-copies), so translating twice gives identical results.
+func TestTranslateIdempotentOnAST(t *testing.T) {
+	f := parseCache(t)
+	tp1, err := Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp1.L() != tp2.L() || tp1.NumBranchIDs != tp2.NumBranchIDs {
+		t.Fatalf("translations differ: L %d/%d", tp1.L(), tp2.L())
+	}
+	for d := 1; d <= tp1.L(); d++ {
+		a, b := tp1.Depths[d-1].Items, tp2.Depths[d-1].Items
+		if len(a) != len(b) {
+			t.Fatalf("depth %d: %d vs %d items", d, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Prim.Op != b[i].Prim.Op || a[i].BranchID != b[i].BranchID {
+				t.Fatalf("depth %d item %d differs", d, i)
+			}
+		}
+	}
+}
+
+func TestMulticastParsesAndChecks(t *testing.T) {
+	src := `
+program m(<hdr.ipv4.dst, 1, 0xff>) {
+    MULTICAST(7);
+}
+`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+	p := f.Programs[0].Body[0].(*Prim)
+	if p.Op != OpMulticast || p.Imm != 7 {
+		t.Fatalf("prim = %+v", p)
+	}
+	if !p.Op.IsForwarding() {
+		t.Error("MULTICAST not a forwarding op")
+	}
+	// Group range validation.
+	for _, bad := range []string{"MULTICAST(0);", "MULTICAST(256);"} {
+		f, err := ParseFile(strings.Replace(src, "MULTICAST(7);", bad, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(f); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
+// TestDeepNesting: deeply nested BRANCH trees translate with correct depth
+// accounting.
+func TestDeepNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("program deep(<hdr.ipv4.dst, 1, 0xff>) {\n")
+	depth := 6
+	for i := 0; i < depth; i++ {
+		b.WriteString("BRANCH:\ncase(<har, 1, 0xffffffff>) {\n")
+	}
+	b.WriteString("DROP;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("};\n")
+	}
+	b.WriteString("}\n")
+	f, err := ParseFile(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Translate(f.Programs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.L() != depth+1 {
+		t.Errorf("L = %d, want %d", tp.L(), depth+1)
+	}
+	if tp.NumBranchIDs != depth+1 {
+		t.Errorf("branch IDs = %d, want %d", tp.NumBranchIDs, depth+1)
+	}
+}
+
+// TestManyElasticCases: the branch-ID space supports the paper's 256
+// elastic case blocks (and more).
+func TestManyElasticCases(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("program wide(<hdr.ipv4.dst, 1, 0xff>) {\nEXTRACT(hdr.ipv4.dst, har);\nBRANCH:\n")
+	for i := 0; i < 300; i++ {
+		b.WriteString("elastic case(<har, ")
+		b.WriteString(itoa(i))
+		b.WriteString(", 0xffffffff>) { FORWARD(1); }\n")
+	}
+	b.WriteString("}\n")
+	f, err := ParseFile(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f); err != nil {
+		t.Fatalf("300 cases rejected: %v", err)
+	}
+	tp, err := Translate(f.Programs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.EntriesAt(2) != 300 {
+		t.Errorf("branch entries = %d", tp.EntriesAt(2))
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

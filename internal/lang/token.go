@@ -1,0 +1,105 @@
+// Package lang implements the P4runpro language (paper Appendix B.1): a
+// lexer and recursive-descent parser producing an AST, semantic checking,
+// the primitive and pseudo-primitive set (Appendix A.1), and the translation
+// pass that expands pseudo primitives (Appendix A.2), inserts
+// address-translation offset steps, aligns cross-branch memory operations,
+// and assigns execution depths and branch IDs — everything that happens
+// before resource allocation.
+package lang
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt    // binary, decimal, or hexadecimal integer
+	TokIP     // dotted-quad IPv4 address literal
+	TokAt     // @
+	TokLParen // (
+	TokRParen // )
+	TokLBrace // {
+	TokRBrace // }
+	TokLAngle // <
+	TokRAngle // >
+	TokComma  // ,
+	TokSemi   // ;
+	TokColon  // :
+	TokProgram
+	TokCase
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokIP:
+		return "ip-address"
+	case TokAt:
+		return "'@'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLAngle:
+		return "'<'"
+	case TokRAngle:
+		return "'>'"
+	case TokComma:
+		return "','"
+	case TokSemi:
+		return "';'"
+	case TokColon:
+		return "':'"
+	case TokProgram:
+		return "'program'"
+	case TokCase:
+		return "'case'"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos locates a token in the source.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Val  uint64 // parsed value for TokInt and TokIP
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%v(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// SyntaxError is a lexing or parsing failure with position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

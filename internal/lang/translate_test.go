@@ -1,0 +1,292 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func translateCache(t *testing.T) *TProgram {
+	t.Helper()
+	f := parseCache(t)
+	tp, err := Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	return tp
+}
+
+// TestTranslateCacheDepths reproduces the paper's Figure 5(b): the cache
+// program translates to L=10 with the memory operations of the two case
+// branches aligned to one depth via NOP padding, each preceded by an offset
+// step.
+func TestTranslateCacheDepths(t *testing.T) {
+	tp := translateCache(t)
+	if tp.L() != 10 {
+		for d, dep := range tp.Depths {
+			for _, it := range dep.Items {
+				t.Logf("depth %d branch %d: %s", d+1, it.BranchID, it.Prim)
+			}
+		}
+		t.Fatalf("L = %d, want 10 (Figure 5b)", tp.L())
+	}
+	// The two memory primitives (MEMREAD branch 1, MEMWRITE branch 2) must
+	// share one depth.
+	memDepth := 0
+	for d := 1; d <= tp.L(); d++ {
+		for _, it := range tp.Depths[d-1].Items {
+			if it.Prim.Op.IsMemory() {
+				if memDepth == 0 {
+					memDepth = d
+				} else if memDepth != d {
+					t.Fatalf("memory ops at depths %d and %d, want aligned", memDepth, d)
+				}
+			}
+		}
+	}
+	if memDepth == 0 {
+		t.Fatal("no memory op found")
+	}
+	// Offset step sits immediately before the memory ops.
+	foundOffset := false
+	for _, it := range tp.Depths[memDepth-2].Items {
+		if it.Prim.Op == OpOffset && it.Prim.Mem == "mem1" {
+			foundOffset = true
+		}
+	}
+	if !foundOffset {
+		t.Errorf("no offset step at depth %d", memDepth-1)
+	}
+	// FORWARD (cache miss) is the root branch's continuation right after
+	// the BRANCH depth.
+	forwardDepth := 0
+	for d := 1; d <= tp.L(); d++ {
+		if tp.ForwardingAt(d) {
+			forwardDepth = d
+			break
+		}
+	}
+	if forwardDepth != 5 {
+		t.Errorf("first forwarding depth = %d, want 5 (after 3 EXTRACTs + BRANCH)", forwardDepth)
+	}
+}
+
+func TestTranslateBranchIDs(t *testing.T) {
+	tp := translateCache(t)
+	if tp.NumBranchIDs != 3 { // root + 2 cases
+		t.Errorf("NumBranchIDs = %d, want 3", tp.NumBranchIDs)
+	}
+	br := tp.Depths[3].Items[0]
+	if br.Prim.Op != OpBranch {
+		t.Fatalf("depth 4 item is %s, want BRANCH", br.Prim)
+	}
+	if len(br.CaseIDs) != 2 || br.CaseIDs[0] == br.CaseIDs[1] {
+		t.Errorf("case IDs = %v", br.CaseIDs)
+	}
+	if br.BranchID != 0 {
+		t.Errorf("branch executes in branch %d, want root 0", br.BranchID)
+	}
+}
+
+func TestTranslateEntryCounts(t *testing.T) {
+	tp := translateCache(t)
+	// Depth 4 is the BRANCH: two case entries.
+	if got := tp.EntriesAt(4); got != 2 {
+		t.Errorf("EntriesAt(4) = %d, want 2", got)
+	}
+	total := tp.TotalEntries()
+	if total < 10 || total > 20 {
+		t.Errorf("TotalEntries = %d, out of plausible range", total)
+	}
+}
+
+func TestTranslateMemoryPlacement(t *testing.T) {
+	tp := translateCache(t)
+	first := tp.FirstAccessDepth()
+	if len(first) != 1 {
+		t.Fatalf("FirstAccessDepth = %v", first)
+	}
+	if len(tp.Memories) != 1 || tp.Memories[0].Name != "mem1" {
+		t.Errorf("Memories = %+v", tp.Memories)
+	}
+}
+
+// TestTranslateMemLinks checks constraint-(5) extraction for a program with
+// two sequential accesses to one memory along a single path.
+func TestTranslateMemLinks(t *testing.T) {
+	src := `
+@ m 256
+program seq(<hdr.ipv4.dst, 1, 0xff>) {
+    LOADI(mar, 0);
+    MEMADD(m);
+    LOADI(mar, 1);
+    MEMREAD(m);
+}
+`
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tp, err := Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	if len(tp.MemLinks) != 1 {
+		t.Fatalf("MemLinks = %v, want one pair", tp.MemLinks)
+	}
+	l := tp.MemLinks[0]
+	if l[0] >= l[1] {
+		t.Errorf("link not ordered: %v", l)
+	}
+}
+
+// regFile models the three registers for pseudo-primitive equivalence
+// checks.
+type regFile struct{ har, sar, mar uint32 }
+
+func (r *regFile) get(reg Reg) uint32 {
+	switch reg {
+	case HAR:
+		return r.har
+	case SAR:
+		return r.sar
+	case MAR:
+		return r.mar
+	}
+	return 0
+}
+
+func (r *regFile) set(reg Reg, v uint32) {
+	switch reg {
+	case HAR:
+		r.har = v
+	case SAR:
+		r.sar = v
+	case MAR:
+		r.mar = v
+	}
+}
+
+// execSeq interprets an expanded primitive sequence over a register file,
+// with a single backup slot for BACKUP/RESTORE.
+func execSeq(seq []Stmt, r *regFile) {
+	var bak uint32
+	for _, s := range seq {
+		p := s.(*Prim)
+		switch p.Op {
+		case OpLoadI:
+			r.set(p.R0, p.Imm)
+		case OpAdd:
+			r.set(p.R0, r.get(p.R0)+r.get(p.R1))
+		case OpAnd:
+			r.set(p.R0, r.get(p.R0)&r.get(p.R1))
+		case OpOr:
+			r.set(p.R0, r.get(p.R0)|r.get(p.R1))
+		case OpXor:
+			r.set(p.R0, r.get(p.R0)^r.get(p.R1))
+		case OpMax:
+			if r.get(p.R1) > r.get(p.R0) {
+				r.set(p.R0, r.get(p.R1))
+			}
+		case OpMin:
+			if r.get(p.R1) < r.get(p.R0) {
+				r.set(p.R0, r.get(p.R1))
+			}
+		case OpBackup:
+			bak = r.get(p.R0)
+		case OpRestore:
+			r.set(p.R0, bak)
+		default:
+			panic("unexpected op in expansion: " + p.Op.String())
+		}
+	}
+}
+
+// TestPseudoExpansionSemantics property-tests every pseudo primitive: the
+// expansion computes the documented result, and when the supportive register
+// is live it is preserved.
+func TestPseudoExpansionSemantics(t *testing.T) {
+	// rest forces the supportive register to stay live: BRANCH reads all.
+	live := []Stmt{&Prim{Op: OpBranch, Cases: []*Case{{}}}}
+
+	check := func(har, sar, mar, imm uint32) bool {
+		regs := regFile{har, sar, mar}
+
+		type tc struct {
+			p    *Prim
+			want func(r regFile) regFile
+		}
+		cases := []tc{
+			{&Prim{Op: OpMove, R0: HAR, R1: SAR}, func(r regFile) regFile { r.har = r.sar; return r }},
+			{&Prim{Op: OpNot, R0: SAR}, func(r regFile) regFile { r.sar = ^r.sar; return r }},
+			{&Prim{Op: OpSub, R0: HAR, R1: SAR}, func(r regFile) regFile { r.har = r.har - r.sar; return r }},
+			{&Prim{Op: OpAddI, R0: MAR, Imm: imm}, func(r regFile) regFile { r.mar = r.mar + imm; return r }},
+			{&Prim{Op: OpAndI, R0: HAR, Imm: imm}, func(r regFile) regFile { r.har = r.har & imm; return r }},
+			{&Prim{Op: OpXorI, R0: SAR, Imm: imm}, func(r regFile) regFile { r.sar = r.sar ^ imm; return r }},
+			{&Prim{Op: OpSubI, R0: HAR, Imm: imm}, func(r regFile) regFile { r.har = r.har - imm; return r }},
+		}
+		for _, c := range cases {
+			got := regs
+			execSeq(expandPseudo(c.p, live), &got)
+			if got != c.want(regs) {
+				t.Logf("%s on %+v: got %+v want %+v", c.p.Op, regs, got, c.want(regs))
+				return false
+			}
+		}
+
+		// Comparison pseudo primitives assert their zero/nonzero contract.
+		eq := regs
+		execSeq(expandPseudo(&Prim{Op: OpEqual, R0: HAR, R1: SAR}, live), &eq)
+		if (eq.har == 0) != (regs.har == regs.sar) {
+			return false
+		}
+		sgt := regs
+		execSeq(expandPseudo(&Prim{Op: OpSgt, R0: HAR, R1: SAR}, live), &sgt)
+		if (sgt.har == 0) != (regs.har >= regs.sar) {
+			return false
+		}
+		slt := regs
+		execSeq(expandPseudo(&Prim{Op: OpSlt, R0: HAR, R1: SAR}, live), &slt)
+		if (slt.har == 0) != (regs.har <= regs.sar) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupportiveRegisterElision: when the supportive register is dead, no
+// BACKUP/RESTORE pair is emitted.
+func TestSupportiveRegisterElision(t *testing.T) {
+	dead := []Stmt{&Prim{Op: OpLoadI, R0: SAR, Imm: 1}} // writes SAR before reading
+	seq := expandPseudo(&Prim{Op: OpAddI, R0: HAR, Imm: 5}, dead)
+	for _, s := range seq {
+		if p := s.(*Prim); p.Op == OpBackup || p.Op == OpRestore {
+			t.Fatalf("dead supportive register still backed up: %v", seq)
+		}
+	}
+	live := []Stmt{&Prim{Op: OpAdd, R0: MAR, R1: SAR}} // reads SAR
+	seq = expandPseudo(&Prim{Op: OpAddI, R0: HAR, Imm: 5}, live)
+	haveBackup := false
+	for _, s := range seq {
+		if s.(*Prim).Op == OpBackup {
+			haveBackup = true
+		}
+	}
+	if !haveBackup {
+		t.Fatalf("live supportive register not backed up: %v", seq)
+	}
+}
+
+func TestSupportRegChoice(t *testing.T) {
+	if r := supportReg(HAR, SAR); r != MAR {
+		t.Errorf("support(har,sar) = %v", r)
+	}
+	if r := supportReg(SAR, MAR); r != HAR {
+		t.Errorf("support(sar,mar) = %v", r)
+	}
+	if r := supportReg(HAR, RegNone); r == HAR {
+		t.Errorf("support(har,-) = %v", r)
+	}
+}

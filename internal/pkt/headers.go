@@ -1,0 +1,174 @@
+// Package pkt models the packets that traverse the simulated RMT switch:
+// Ethernet/IPv4/TCP/UDP headers, the custom application headers used by the
+// P4runpro example programs (in-network cache and calculator), the
+// recirculation shim that carries P4runpro's stateless execution context
+// between pipeline passes, and the parser state machine that produces the
+// parsing-state bitmap consumed by the initialization block (paper §4.1.1).
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values understood by the parser.
+const (
+	EtherTypeIPv4  = 0x0800
+	EtherTypeRecir = 0x88B5 // local-experimental: P4runpro recirculation shim
+)
+
+// IP protocol numbers understood by the parser.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// Well-known UDP destination ports that trigger custom header parsing.
+const (
+	PortNetCache   = 7777 // in-network cache / NetCache opcode header
+	PortCalculator = 9998 // calculator header
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Hi16 returns the upper 16 bits of the address, for 32-bit register access.
+func (m MAC) Hi16() uint32 { return uint32(m[0])<<8 | uint32(m[1]) }
+
+// Lo32 returns the lower 32 bits of the address.
+func (m MAC) Lo32() uint32 { return binary.BigEndian.Uint32(m[2:6]) }
+
+// SetHi16 replaces the upper 16 bits of the address.
+func (m *MAC) SetHi16(v uint32) { m[0] = byte(v >> 8); m[1] = byte(v) }
+
+// SetLo32 replaces the lower 32 bits of the address.
+func (m *MAC) SetLo32(v uint32) { binary.BigEndian.PutUint32(m[2:6], v) }
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// IPv4 is the L3 header. Options are not modeled.
+type IPv4 struct {
+	DSCP     uint8
+	ECN      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst uint32
+}
+
+// TCP is the L4 TCP header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// UDP is the L4 UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Len              uint16
+}
+
+// NC is the in-network cache opcode header carried after UDP on
+// PortNetCache, mirroring the NetCache-style header of the paper's Figure 2
+// example (op, 64-bit key split into two 32-bit halves, 32-bit value).
+type NC struct {
+	Op         uint32
+	Key1, Key2 uint32
+	Value      uint32
+}
+
+// NC opcodes.
+const (
+	NCRead  = 1
+	NCWrite = 2
+)
+
+// Calc is the calculator header carried after UDP on PortCalculator.
+type Calc struct {
+	Op, A, B, Result uint32
+}
+
+// Calculator opcodes.
+const (
+	CalcAdd = 1
+	CalcSub = 2
+	CalcAnd = 3
+	CalcOr  = 4
+	CalcXor = 5
+)
+
+// RecircShim carries P4runpro's stateless execution context (registers,
+// control flags, translated address) across recirculation passes — and, in
+// chain mode, between the switches of a multi-switch path. It is prepended
+// inside the switch and stripped before a packet leaves to the external
+// network (paper §4.1.3), so external captures never observe it.
+type RecircShim struct {
+	HAR, SAR, MAR uint32
+	ProgramID     uint16
+	BranchID      uint16
+	RecircID      uint8
+	// Deferred traffic-manager verdicts, applied by the last switch of a
+	// chain (single-switch recirculation keeps them in the PHV instead).
+	Flags      uint8 // ShimDrop | ShimReflect | ShimToCPU
+	EgressSpec uint8 // egress port + 1; 0 means none
+	McastGroup uint8
+}
+
+// RecircShim flag bits.
+const (
+	ShimDrop    = 1 << 0
+	ShimReflect = 1 << 1
+	ShimToCPU   = 1 << 2
+)
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Bytes returns the canonical 13-byte big-endian encoding used as hash-unit
+// input for HASH_5_TUPLE.
+func (t FiveTuple) Bytes() []byte {
+	b := make([]byte, 13)
+	binary.BigEndian.PutUint32(b[0:4], t.SrcIP)
+	binary.BigEndian.PutUint32(b[4:8], t.DstIP)
+	binary.BigEndian.PutUint16(b[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], t.DstPort)
+	b[12] = t.Proto
+	return b
+}
+
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d", ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort, t.Proto)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// IP builds a uint32 IPv4 address from dotted octets.
+func IP(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}

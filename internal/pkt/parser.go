@@ -1,0 +1,343 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes on the wire, in bytes.
+const (
+	ethLen   = 14
+	ipv4Len  = 20
+	tcpLen   = 20
+	udpLen   = 8
+	ncLen    = 16
+	calcLen  = 16
+	shimLen  = 20
+	MinFrame = ethLen
+)
+
+// ShimBytes is the recirculation shim's wire size, the per-pass overhead of
+// the Figure 11 recirculation model.
+const ShimBytes = shimLen
+
+// ErrTruncated reports a frame too short for the headers its fields promise.
+var ErrTruncated = errors.New("pkt: truncated frame")
+
+// ParserState is a state of the fixed parsing state machine. RMT hardware
+// cannot reconfigure this machine at runtime (paper §7 "Header Parsing");
+// runtime programs operate within its scope.
+type ParserState int
+
+// Parser states.
+const (
+	StateStart ParserState = iota
+	StateEthernet
+	StateRecirc
+	StateIPv4
+	StateTCP
+	StateUDP
+	StateNC
+	StateCalc
+	StateAccept
+)
+
+func (s ParserState) String() string {
+	switch s {
+	case StateStart:
+		return "start"
+	case StateEthernet:
+		return "ethernet"
+	case StateRecirc:
+		return "recirc"
+	case StateIPv4:
+		return "ipv4"
+	case StateTCP:
+		return "tcp"
+	case StateUDP:
+		return "udp"
+	case StateNC:
+		return "nc"
+	case StateCalc:
+		return "calc"
+	case StateAccept:
+		return "accept"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// stateBit maps each extracting state to the bitmap bit it sets on entry.
+var stateBit = map[ParserState]ParseBitmap{
+	StateEthernet: BitEthernet,
+	StateRecirc:   BitRecirc,
+	StateIPv4:     BitIPv4,
+	StateTCP:      BitTCP,
+	StateUDP:      BitUDP,
+	StateNC:       BitNC,
+	StateCalc:     BitCalc,
+}
+
+// ParsePaths enumerates the bitmap values the fixed state machine can
+// produce. The initialization block provisions one filtering table per path.
+var ParsePaths = []ParseBitmap{
+	BitEthernet,
+	BitEthernet | BitIPv4,
+	BitEthernet | BitIPv4 | BitTCP,
+	BitEthernet | BitIPv4 | BitUDP,
+	BitEthernet | BitIPv4 | BitUDP | BitNC,
+	BitEthernet | BitIPv4 | BitUDP | BitCalc,
+}
+
+// Parse decodes a wire frame into a Packet, walking the parser state machine
+// and recording each visited extracting state in the parse bitmap.
+func Parse(data []byte) (*Packet, error) {
+	p := &Packet{WireLen: len(data)}
+	off := 0
+	state := StateEthernet
+	for state != StateAccept {
+		if bit, ok := stateBit[state]; ok {
+			p.Bitmap |= bit
+		}
+		var err error
+		state, off, err = parseOne(p, state, data, off)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if off < len(data) {
+		p.Payload = append([]byte(nil), data[off:]...)
+	}
+	return p, nil
+}
+
+func parseOne(p *Packet, state ParserState, data []byte, off int) (ParserState, int, error) {
+	switch state {
+	case StateEthernet:
+		if len(data) < off+ethLen {
+			return 0, 0, fmt.Errorf("%w: ethernet at %d", ErrTruncated, off)
+		}
+		h := &Ethernet{EtherType: binary.BigEndian.Uint16(data[off+12 : off+14])}
+		copy(h.Dst[:], data[off:off+6])
+		copy(h.Src[:], data[off+6:off+12])
+		p.Eth = h
+		off += ethLen
+		switch h.EtherType {
+		case EtherTypeIPv4:
+			return StateIPv4, off, nil
+		case EtherTypeRecir:
+			return StateRecirc, off, nil
+		}
+		return StateAccept, off, nil
+
+	case StateRecirc:
+		if len(data) < off+shimLen {
+			return 0, 0, fmt.Errorf("%w: recirc shim at %d", ErrTruncated, off)
+		}
+		s := &RecircShim{
+			HAR:        binary.BigEndian.Uint32(data[off : off+4]),
+			SAR:        binary.BigEndian.Uint32(data[off+4 : off+8]),
+			MAR:        binary.BigEndian.Uint32(data[off+8 : off+12]),
+			ProgramID:  binary.BigEndian.Uint16(data[off+12 : off+14]),
+			BranchID:   binary.BigEndian.Uint16(data[off+14 : off+16]),
+			RecircID:   data[off+16],
+			Flags:      data[off+17],
+			EgressSpec: data[off+18],
+			McastGroup: data[off+19],
+		}
+		p.Shim = s
+		// The shim wraps an IPv4 packet; restore the inner EtherType so
+		// stripping the shim (Marshal with Shim=nil) yields the original
+		// external frame.
+		p.Eth.EtherType = EtherTypeIPv4
+		return StateIPv4, off + shimLen, nil
+
+	case StateIPv4:
+		if len(data) < off+ipv4Len {
+			return 0, 0, fmt.Errorf("%w: ipv4 at %d", ErrTruncated, off)
+		}
+		b := data[off:]
+		if b[0]>>4 != 4 {
+			return 0, 0, fmt.Errorf("pkt: bad IP version %d", b[0]>>4)
+		}
+		h := &IPv4{
+			DSCP:     b[1] >> 2,
+			ECN:      b[1] & 3,
+			TotalLen: binary.BigEndian.Uint16(b[2:4]),
+			ID:       binary.BigEndian.Uint16(b[4:6]),
+			TTL:      b[8],
+			Proto:    b[9],
+			Src:      binary.BigEndian.Uint32(b[12:16]),
+			Dst:      binary.BigEndian.Uint32(b[16:20]),
+		}
+		p.IP4 = h
+		off += ipv4Len
+		switch h.Proto {
+		case ProtoTCP:
+			return StateTCP, off, nil
+		case ProtoUDP:
+			return StateUDP, off, nil
+		}
+		return StateAccept, off, nil
+
+	case StateTCP:
+		if len(data) < off+tcpLen {
+			return 0, 0, fmt.Errorf("%w: tcp at %d", ErrTruncated, off)
+		}
+		b := data[off:]
+		p.TCP = &TCP{
+			SrcPort: binary.BigEndian.Uint16(b[0:2]),
+			DstPort: binary.BigEndian.Uint16(b[2:4]),
+			Seq:     binary.BigEndian.Uint32(b[4:8]),
+			Ack:     binary.BigEndian.Uint32(b[8:12]),
+			Flags:   b[13],
+			Window:  binary.BigEndian.Uint16(b[14:16]),
+		}
+		return StateAccept, off + tcpLen, nil
+
+	case StateUDP:
+		if len(data) < off+udpLen {
+			return 0, 0, fmt.Errorf("%w: udp at %d", ErrTruncated, off)
+		}
+		b := data[off:]
+		h := &UDP{
+			SrcPort: binary.BigEndian.Uint16(b[0:2]),
+			DstPort: binary.BigEndian.Uint16(b[2:4]),
+			Len:     binary.BigEndian.Uint16(b[4:6]),
+		}
+		p.UDP = h
+		off += udpLen
+		switch h.DstPort {
+		case PortNetCache:
+			return StateNC, off, nil
+		case PortCalculator:
+			return StateCalc, off, nil
+		}
+		return StateAccept, off, nil
+
+	case StateNC:
+		if len(data) < off+ncLen {
+			return 0, 0, fmt.Errorf("%w: nc header at %d", ErrTruncated, off)
+		}
+		b := data[off:]
+		p.NC = &NC{
+			Op:    binary.BigEndian.Uint32(b[0:4]),
+			Key1:  binary.BigEndian.Uint32(b[4:8]),
+			Key2:  binary.BigEndian.Uint32(b[8:12]),
+			Value: binary.BigEndian.Uint32(b[12:16]),
+		}
+		return StateAccept, off + ncLen, nil
+
+	case StateCalc:
+		if len(data) < off+calcLen {
+			return 0, 0, fmt.Errorf("%w: calc header at %d", ErrTruncated, off)
+		}
+		b := data[off:]
+		p.Calc = &Calc{
+			Op:     binary.BigEndian.Uint32(b[0:4]),
+			A:      binary.BigEndian.Uint32(b[4:8]),
+			B:      binary.BigEndian.Uint32(b[8:12]),
+			Result: binary.BigEndian.Uint32(b[12:16]),
+		}
+		return StateAccept, off + calcLen, nil
+	}
+	return 0, 0, fmt.Errorf("pkt: parser reached invalid state %v", state)
+}
+
+// Marshal serializes the packet to wire bytes. If WireLen exceeds the sum of
+// headers and payload, zero padding is appended so the frame keeps its
+// original length (mirroring a payload that was parsed-past, not stored).
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, p.WireLen)
+	if p.Eth != nil {
+		b := make([]byte, ethLen)
+		copy(b[0:6], p.Eth.Dst[:])
+		copy(b[6:12], p.Eth.Src[:])
+		et := p.Eth.EtherType
+		if p.Shim != nil {
+			et = EtherTypeRecir
+		}
+		binary.BigEndian.PutUint16(b[12:14], et)
+		buf = append(buf, b...)
+	}
+	if p.Shim != nil {
+		b := make([]byte, shimLen)
+		binary.BigEndian.PutUint32(b[0:4], p.Shim.HAR)
+		binary.BigEndian.PutUint32(b[4:8], p.Shim.SAR)
+		binary.BigEndian.PutUint32(b[8:12], p.Shim.MAR)
+		binary.BigEndian.PutUint16(b[12:14], p.Shim.ProgramID)
+		binary.BigEndian.PutUint16(b[14:16], p.Shim.BranchID)
+		b[16] = p.Shim.RecircID
+		b[17] = p.Shim.Flags
+		b[18] = p.Shim.EgressSpec
+		b[19] = p.Shim.McastGroup
+		buf = append(buf, b...)
+	}
+	if p.IP4 != nil {
+		b := make([]byte, ipv4Len)
+		b[0] = 4<<4 | 5
+		b[1] = p.IP4.DSCP<<2 | p.IP4.ECN&3
+		binary.BigEndian.PutUint16(b[2:4], p.IP4.TotalLen)
+		binary.BigEndian.PutUint16(b[4:6], p.IP4.ID)
+		b[8] = p.IP4.TTL
+		b[9] = p.IP4.Proto
+		binary.BigEndian.PutUint32(b[12:16], p.IP4.Src)
+		binary.BigEndian.PutUint32(b[16:20], p.IP4.Dst)
+		sum := ipChecksum(b)
+		binary.BigEndian.PutUint16(b[10:12], sum)
+		buf = append(buf, b...)
+	}
+	if p.TCP != nil {
+		b := make([]byte, tcpLen)
+		binary.BigEndian.PutUint16(b[0:2], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(b[4:8], p.TCP.Seq)
+		binary.BigEndian.PutUint32(b[8:12], p.TCP.Ack)
+		b[12] = 5 << 4
+		b[13] = p.TCP.Flags
+		binary.BigEndian.PutUint16(b[14:16], p.TCP.Window)
+		buf = append(buf, b...)
+	}
+	if p.UDP != nil {
+		b := make([]byte, udpLen)
+		binary.BigEndian.PutUint16(b[0:2], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], p.UDP.DstPort)
+		binary.BigEndian.PutUint16(b[4:6], p.UDP.Len)
+		buf = append(buf, b...)
+	}
+	if p.NC != nil {
+		b := make([]byte, ncLen)
+		binary.BigEndian.PutUint32(b[0:4], p.NC.Op)
+		binary.BigEndian.PutUint32(b[4:8], p.NC.Key1)
+		binary.BigEndian.PutUint32(b[8:12], p.NC.Key2)
+		binary.BigEndian.PutUint32(b[12:16], p.NC.Value)
+		buf = append(buf, b...)
+	}
+	if p.Calc != nil {
+		b := make([]byte, calcLen)
+		binary.BigEndian.PutUint32(b[0:4], p.Calc.Op)
+		binary.BigEndian.PutUint32(b[4:8], p.Calc.A)
+		binary.BigEndian.PutUint32(b[8:12], p.Calc.B)
+		binary.BigEndian.PutUint32(b[12:16], p.Calc.Result)
+		buf = append(buf, b...)
+	}
+	buf = append(buf, p.Payload...)
+	for len(buf) < p.WireLen {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,167 @@
+// Package programs contains the 15 conventional P4 programs of the paper's
+// Table 1, re-expressed as P4runpro source (paper §6.1). Each program is a
+// template parameterized by instance name, memory size, and elastic case
+// block count, so the workload experiments (§6.2) can deploy hundreds of
+// differently-sized instances.
+package programs
+
+import (
+	"fmt"
+
+	"p4runpro/internal/lang"
+)
+
+// Params sizes one program instance.
+type Params struct {
+	// MemWords is the size of each declared virtual memory block in 32-bit
+	// words. Zero selects the experiments' default of 256 words (1,024 B).
+	MemWords uint32
+	// Elastic is the number of elastic case blocks, where applicable. Zero
+	// selects the default of 2 (§6.2.3).
+	Elastic int
+}
+
+// DefaultParams returns the §6.2 experiment defaults.
+func DefaultParams() Params { return Params{MemWords: 256, Elastic: 2} }
+
+func (p Params) normalize() Params {
+	if p.MemWords == 0 {
+		p.MemWords = 256
+	}
+	if p.Elastic == 0 {
+		p.Elastic = 2
+	}
+	return p
+}
+
+// Spec describes one Table 1 program.
+type Spec struct {
+	Name     string
+	Title    string
+	Category string
+
+	// Paper-reported values for the EXPERIMENTS.md comparison.
+	PaperOursLoC  int
+	PaperP4LoC    int
+	PaperUpdateMs float64
+	OtherUpdateMs float64 // prior work's update delay, 0 if not reported
+	OtherSystem   string  // "ActiveRMT" or "FlyMon"
+
+	HasMemory  bool
+	HasElastic bool
+
+	// Source renders the program text for an instance.
+	Source func(name string, p Params) string
+}
+
+// DefaultSource renders the canonical instance (paper defaults).
+func (s Spec) DefaultSource() string { return s.Source(s.Name, DefaultParams()) }
+
+// LoC counts the source lines of the canonical instance the way the paper
+// does (elastic case blocks excluded).
+func (s Spec) LoC() int { return lang.CountLoC(s.DefaultSource()) }
+
+// All returns the 15 programs in Table 1 order.
+func All() []Spec { return registry }
+
+// Get finds a program by name.
+func Get(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+var registry = []Spec{
+	{
+		Name: "cache", Title: "In-network Cache", Category: "in-network computing",
+		PaperOursLoC: 26, PaperP4LoC: 77, PaperUpdateMs: 11.47,
+		OtherUpdateMs: 194.30, OtherSystem: "ActiveRMT",
+		HasMemory: true, HasElastic: true, Source: cacheSource,
+	},
+	{
+		Name: "lb", Title: "Stateless Load Balancer", Category: "traffic forwarding",
+		PaperOursLoC: 15, PaperP4LoC: 63, PaperUpdateMs: 10.63,
+		OtherUpdateMs: 225.46, OtherSystem: "ActiveRMT",
+		HasMemory: true, HasElastic: true, Source: lbSource,
+	},
+	{
+		Name: "hh", Title: "Heavy Hitter Detector", Category: "measurement",
+		PaperOursLoC: 36, PaperP4LoC: 109, PaperUpdateMs: 30.64,
+		OtherUpdateMs: 228.70, OtherSystem: "ActiveRMT",
+		HasMemory: true, Source: hhSource,
+	},
+	{
+		Name: "nc", Title: "NetCache", Category: "in-network computing",
+		PaperOursLoC: 60, PaperP4LoC: 152, PaperUpdateMs: 40.06,
+		HasMemory: true, HasElastic: true, Source: ncSource,
+	},
+	{
+		Name: "dqacc", Title: "DQAcc", Category: "in-network computing",
+		PaperOursLoC: 16, PaperP4LoC: 137, PaperUpdateMs: 15.45,
+		HasMemory: true, Source: dqaccSource,
+	},
+	{
+		Name: "fw", Title: "Stateful Firewall", Category: "security",
+		PaperOursLoC: 22, PaperP4LoC: 88, PaperUpdateMs: 19.70,
+		HasMemory: true, Source: fwSource,
+	},
+	{
+		Name: "l2fwd", Title: "L2 Forwarding", Category: "traffic forwarding",
+		PaperOursLoC: 10, PaperP4LoC: 33, PaperUpdateMs: 2.98,
+		HasElastic: true, Source: l2fwdSource,
+	},
+	{
+		Name: "l3route", Title: "L3 Routing", Category: "traffic forwarding",
+		PaperOursLoC: 6, PaperP4LoC: 34, PaperUpdateMs: 1.88,
+		HasElastic: true, Source: l3routeSource,
+	},
+	{
+		Name: "tunnel", Title: "Tunnel", Category: "traffic forwarding",
+		PaperOursLoC: 6, PaperP4LoC: 51, PaperUpdateMs: 2.38,
+		Source: tunnelSource,
+	},
+	{
+		Name: "calc", Title: "Calculator", Category: "in-network computing",
+		PaperOursLoC: 26, PaperP4LoC: 53, PaperUpdateMs: 26.74,
+		Source: calcSource,
+	},
+	{
+		Name: "ecn", Title: "ECN", Category: "congestion control",
+		PaperOursLoC: 9, PaperP4LoC: 18, PaperUpdateMs: 4.84,
+		Source: ecnSource,
+	},
+	{
+		Name: "cms", Title: "Count-Min Sketch", Category: "measurement",
+		PaperOursLoC: 14, PaperP4LoC: 78, PaperUpdateMs: 14.21,
+		OtherUpdateMs: 27.46, OtherSystem: "FlyMon",
+		HasMemory: true, Source: cmsSource,
+	},
+	{
+		Name: "bf", Title: "Bloom Filter", Category: "measurement",
+		PaperOursLoC: 14, PaperP4LoC: 78, PaperUpdateMs: 12.51,
+		OtherUpdateMs: 32.09, OtherSystem: "FlyMon",
+		HasMemory: true, Source: bfSource,
+	},
+	{
+		Name: "sumax", Title: "SuMax", Category: "measurement",
+		PaperOursLoC: 14, PaperP4LoC: 80, PaperUpdateMs: 19.94,
+		OtherUpdateMs: 22.88, OtherSystem: "FlyMon",
+		HasMemory: true, Source: sumaxSource,
+	},
+	{
+		Name: "hll", Title: "HyperLogLog", Category: "measurement",
+		PaperOursLoC: 167, PaperP4LoC: 180, PaperUpdateMs: 166.90,
+		OtherUpdateMs: 17.37, OtherSystem: "FlyMon",
+		HasMemory: true, Source: hllSource,
+	},
+}
+
+// Instantiate renders program spec under a unique instance name, for the
+// deployment workloads that link many copies.
+func Instantiate(s Spec, instance int, p Params) (name, src string) {
+	name = fmt.Sprintf("%s_%d", s.Name, instance)
+	return name, s.Source(name, p)
+}

@@ -1,0 +1,215 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"p4runpro/internal/lang"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d programs, want 15 (Table 1)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate program %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Title == "" || s.Category == "" {
+			t.Errorf("%s: missing metadata", s.Name)
+		}
+		if s.PaperP4LoC <= s.PaperOursLoC {
+			t.Errorf("%s: paper LoC %d !< P4 LoC %d", s.Name, s.PaperOursLoC, s.PaperP4LoC)
+		}
+		if s.PaperUpdateMs <= 0 {
+			t.Errorf("%s: missing paper update delay", s.Name)
+		}
+	}
+	if _, ok := Get("cache"); !ok {
+		t.Error("Get(cache) failed")
+	}
+	if _, ok := Get("bogus"); ok {
+		t.Error("Get(bogus) succeeded")
+	}
+}
+
+// TestAllSourcesParseCheckTranslate: every program at several parameter
+// points survives the full front end.
+func TestAllSourcesParseCheckTranslate(t *testing.T) {
+	paramSets := []Params{
+		{},
+		{MemWords: 512, Elastic: 2},
+		{MemWords: 1024, Elastic: 16},
+		{MemWords: 256, Elastic: 64},
+	}
+	for _, spec := range All() {
+		for _, p := range paramSets {
+			name, src := Instantiate(spec, 7, p)
+			f, err := lang.ParseFile(src)
+			if err != nil {
+				t.Fatalf("%s %+v: parse: %v\n%s", name, p, err, src)
+			}
+			if err := lang.Check(f); err != nil {
+				t.Fatalf("%s %+v: check: %v", name, p, err)
+			}
+			tp, err := lang.Translate(f.Programs[0], f.Memories)
+			if err != nil {
+				t.Fatalf("%s %+v: translate: %v", name, p, err)
+			}
+			if tp.L() == 0 || tp.L() > 44 {
+				t.Errorf("%s: L = %d out of range", name, tp.L())
+			}
+			if tp.Name != name {
+				t.Errorf("instantiated name %q != declared %q", name, tp.Name)
+			}
+		}
+	}
+}
+
+// TestLoCInPaperBallpark: our source sizes track the paper's Table 1 within
+// a factor (formatting differs, logic should not).
+func TestLoCInPaperBallpark(t *testing.T) {
+	for _, spec := range All() {
+		loc := spec.LoC()
+		if loc < spec.PaperOursLoC/3 || loc > spec.PaperOursLoC*3 {
+			t.Errorf("%s: LoC %d vs paper %d (off by >3x)", spec.Name, loc, spec.PaperOursLoC)
+		}
+		// Expressiveness claim: far fewer lines than the P4 version.
+		if loc >= spec.PaperP4LoC {
+			t.Errorf("%s: LoC %d >= P4 %d", spec.Name, loc, spec.PaperP4LoC)
+		}
+	}
+}
+
+func TestElasticScaling(t *testing.T) {
+	spec, _ := Get("cache")
+	small, _ := lang.ParseFile(spec.Source("c", Params{MemWords: 256, Elastic: 2}))
+	big, _ := lang.ParseFile(spec.Source("c", Params{MemWords: 256, Elastic: 16}))
+	count := func(f *lang.File) int {
+		n := 0
+		var walk func([]lang.Stmt)
+		walk = func(list []lang.Stmt) {
+			for _, s := range list {
+				p := s.(*lang.Prim)
+				for _, c := range p.Cases {
+					n++
+					walk(c.Body)
+				}
+			}
+		}
+		walk(f.Programs[0].Body)
+		return n
+	}
+	if count(small) != 2 || count(big) != 16 {
+		t.Errorf("case counts = %d, %d", count(small), count(big))
+	}
+	// Elastic blocks beyond the canonical two are excluded from LoC.
+	locSmall := lang.CountLoC(spec.Source("c", Params{Elastic: 2}))
+	locBig := lang.CountLoC(spec.Source("c", Params{Elastic: 256}))
+	if locBig != locSmall {
+		t.Errorf("elastic blocks leaked into LoC: %d vs %d", locSmall, locBig)
+	}
+}
+
+func TestMemoryParameterization(t *testing.T) {
+	spec, _ := Get("cms")
+	src := spec.Source("cms", Params{MemWords: 2048})
+	f, err := lang.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range f.Memories {
+		if m.Size != 2048 {
+			t.Errorf("memory %s size %d, want 2048", m.Name, m.Size)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.MemWords != 256 || p.Elastic != 2 {
+		t.Errorf("defaults = %+v", p)
+	}
+	n := Params{}.normalize()
+	if n != p {
+		t.Errorf("normalize = %+v", n)
+	}
+}
+
+func TestHLLStructure(t *testing.T) {
+	spec, _ := Get("hll")
+	src := spec.DefaultSource()
+	// 33 rank case blocks make HLL the largest program (Table 1: 167 LoC,
+	// dominated by inelastic case blocks).
+	if got := strings.Count(src, "case("); got != 33 {
+		t.Errorf("hll has %d case blocks, want 33", got)
+	}
+	if got := strings.Count(src, "MEMMAX"); got != 33 {
+		t.Errorf("hll has %d MEMMAX, want 33", got)
+	}
+	f, err := lang.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := lang.Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 33 MEMMAX operations align to a single depth (same register
+	// array), so the program stays shallow despite its source size.
+	if tp.L() > 8 {
+		t.Errorf("hll L = %d, expected shallow alignment", tp.L())
+	}
+	if tp.TotalEntries() < 100 {
+		t.Errorf("hll entries = %d, expected the largest entry count", tp.TotalEntries())
+	}
+}
+
+func TestInstantiateUniqueNames(t *testing.T) {
+	spec, _ := Get("lb")
+	n1, s1 := Instantiate(spec, 1, DefaultParams())
+	n2, s2 := Instantiate(spec, 2, DefaultParams())
+	if n1 == n2 {
+		t.Error("instances share a name")
+	}
+	if !strings.Contains(s1, n1) || !strings.Contains(s2, n2) {
+		t.Error("instance name not in source")
+	}
+}
+
+func TestAggSource(t *testing.T) {
+	src := AggSource("agg", 4, 7, Params{MemWords: 256})
+	f, err := lang.ParseFile(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if err := lang.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	tp, err := lang.Translate(f.Programs[0], f.Memories)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	if len(tp.Memories) != 2 {
+		t.Errorf("memories = %d", len(tp.Memories))
+	}
+	// The MULTICAST primitive is a forwarding op: it must carry the
+	// ingress-only placement constraint.
+	hasMcastDepth := false
+	for d := 1; d <= tp.L(); d++ {
+		for _, it := range tp.Depths[d-1].Items {
+			if it.Prim.Op == lang.OpMulticast {
+				hasMcastDepth = true
+				if !tp.ForwardingAt(d) {
+					t.Error("MULTICAST not treated as forwarding")
+				}
+			}
+		}
+	}
+	if !hasMcastDepth {
+		t.Fatal("no MULTICAST in translated agg")
+	}
+}

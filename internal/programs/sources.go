@@ -1,0 +1,484 @@
+package programs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Source generators. Every generator accepts the instance name and Params,
+// returning compilable P4runpro text. Case blocks beyond the canonical two
+// are wrapped in //<elastic> markers so LoC counting matches the paper's
+// convention (elastic blocks express runtime table contents, not program
+// logic).
+
+func cacheSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ mem1 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*filtering traffic*/\n")
+	b.WriteString("    <hdr.udp.dst_port, 7777, 0xffff>) {\n")
+	b.WriteString("    EXTRACT(hdr.nc.op, har);   //get opcode\n")
+	b.WriteString("    EXTRACT(hdr.nc.key1, sar); //get key[0:31]\n")
+	b.WriteString("    EXTRACT(hdr.nc.key2, mar); //get key[32:63]\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < p.Elastic; k++ {
+		key := 0x8888 + uint32(k/2)
+		addr := uint32(k/2) % p.MemWords
+		if k == 2 {
+			b.WriteString("    //<elastic>\n")
+		}
+		if k%2 == 0 {
+			b.WriteString("    /*cache hit and cache read*/\n")
+			fmt.Fprintf(&b, "    elastic case(<har, 1, 0xffffffff>,\n")
+			fmt.Fprintf(&b, "         <sar, 0x%x, 0xffffffff>,\n", key)
+			fmt.Fprintf(&b, "         <mar, 0, 0xffffffff>) {\n")
+			b.WriteString("        RETURN;          //return to client\n")
+			fmt.Fprintf(&b, "        LOADI(mar, %d); //load address\n", addr)
+			b.WriteString("        MEMREAD(mem1);   //read cache\n")
+			b.WriteString("        MODIFY(hdr.nc.value, sar);\n")
+			b.WriteString("    }\n")
+		} else {
+			b.WriteString("    /*cache hit and cache write*/\n")
+			fmt.Fprintf(&b, "    elastic case(<har, 2, 0xffffffff>,\n")
+			fmt.Fprintf(&b, "         <sar, 0x%x, 0xffffffff>,\n", key)
+			fmt.Fprintf(&b, "         <mar, 0, 0xffffffff>) {\n")
+			b.WriteString("        DROP;            //drop the packet\n")
+			fmt.Fprintf(&b, "        LOADI(mar, %d); //load address\n", addr)
+			b.WriteString("        EXTRACT(hdr.nc.val, sar); //get value\n")
+			b.WriteString("        MEMWRITE(mem1);  //write cache\n")
+			b.WriteString("    };\n")
+		}
+	}
+	if p.Elastic > 2 {
+		b.WriteString("    //</elastic>\n")
+	}
+	b.WriteString("    FORWARD(32); //cache miss\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func lbSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ dip_pool %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ port_pool %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*filtering traffic*/\n")
+	b.WriteString("    <hdr.ipv4.dst, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString("    HASH_5_TUPLE_MEM(dip_pool); //locate bucket (shared index)\n")
+	b.WriteString("    MEMREAD(dip_pool);          //get DIP\n")
+	b.WriteString("    MODIFY(hdr.ipv4.dst, sar);  //write DIP\n")
+	b.WriteString("    MEMREAD(port_pool);         //get egress port (same mar)\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < p.Elastic; k++ {
+		if k == 2 {
+			b.WriteString("    //<elastic>\n")
+		}
+		fmt.Fprintf(&b, "    elastic case(<sar, %d, 0xffffffff>) {\n", k)
+		fmt.Fprintf(&b, "        FORWARD(%d);\n", k%64)
+		b.WriteString("    }\n")
+	}
+	if p.Elastic > 2 {
+		b.WriteString("    //</elastic>\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func hhSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ mem_cms_row1 %d //CMS with two rows\n", p.MemWords)
+	fmt.Fprintf(&b, "@ mem_cms_row2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ mem_bf_row1 %d //BF with two rows\n", p.MemWords)
+	fmt.Fprintf(&b, "@ mem_bf_row2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*filtering traffic*/\n")
+	b.WriteString("    <hdr.ipv4.src, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString(`    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(mem_cms_row1);
+    MEMADD(mem_cms_row1); //count packet
+    LOADI(har, 1024);     //set threshold
+    MIN(har, sar);        //compare with threshold
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(mem_cms_row2);
+    MEMADD(mem_cms_row2);
+    MIN(har, sar);
+    BRANCH:
+    /*same flow # exceeds the threshold*/
+    case(<har, 1024, 0xffffffff>) {
+        LOADI(sar, 1);
+        HASH_5_TUPLE_MEM(mem_bf_row1);
+        MEMOR(mem_bf_row1); //check existence
+        BRANCH:
+        /*exist*/
+        case(<sar, 1, 0xffffffff>) {
+            LOADI(sar, 1);
+            HASH_5_TUPLE_MEM(mem_bf_row2);
+            MEMOR(mem_bf_row2); //check another
+            BRANCH:
+            case(<sar, 0, 0xffffffff>) {
+                REPORT; //report this packet
+            };
+        }
+        /*not exist*/
+        case(<sar, 0, 0xffffffff>) {
+            LOADI(sar, 1);
+            HASH_5_TUPLE_MEM(mem_bf_row2);
+            MEMOR(mem_bf_row2); //update another
+            REPORT; //report this packet
+        };
+    };
+}
+`)
+	return b.String()
+}
+
+func ncSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ ncval %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ nc_cms1 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ nc_cms2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*filtering traffic*/\n")
+	b.WriteString("    <hdr.udp.dst_port, 7777, 0xffff>) {\n")
+	b.WriteString("    EXTRACT(hdr.nc.op, har);   //get opcode\n")
+	b.WriteString("    EXTRACT(hdr.nc.key1, sar); //get key[0:31]\n")
+	b.WriteString("    EXTRACT(hdr.nc.key2, mar); //get key[32:63]\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < p.Elastic; k++ {
+		key := 0x8888 + uint32(k/2)
+		addr := uint32(k/2) % p.MemWords
+		if k == 2 {
+			b.WriteString("    //<elastic>\n")
+		}
+		if k%2 == 0 {
+			fmt.Fprintf(&b, "    elastic case(<har, 1, 0xffffffff>,\n")
+			fmt.Fprintf(&b, "         <sar, 0x%x, 0xffffffff>,\n", key)
+			fmt.Fprintf(&b, "         <mar, 0, 0xffffffff>) {\n")
+			b.WriteString("        RETURN;          //cache hit: reply to client\n")
+			fmt.Fprintf(&b, "        LOADI(mar, %d);\n", addr)
+			b.WriteString("        MEMREAD(ncval);\n")
+			b.WriteString("        MODIFY(hdr.nc.value, sar);\n")
+			b.WriteString("    }\n")
+		} else {
+			fmt.Fprintf(&b, "    elastic case(<har, 2, 0xffffffff>,\n")
+			fmt.Fprintf(&b, "         <sar, 0x%x, 0xffffffff>,\n", key)
+			fmt.Fprintf(&b, "         <mar, 0, 0xffffffff>) {\n")
+			b.WriteString("        DROP;            //cache write from server\n")
+			fmt.Fprintf(&b, "        LOADI(mar, %d);\n", addr)
+			b.WriteString("        EXTRACT(hdr.nc.val, sar);\n")
+			b.WriteString("        MEMWRITE(ncval);\n")
+			b.WriteString("    };\n")
+		}
+	}
+	if p.Elastic > 2 {
+		b.WriteString("    //</elastic>\n")
+	}
+	b.WriteString(`    /*cache miss: count key popularity (CMS) and report hot keys*/
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(nc_cms1);
+    MEMADD(nc_cms1);
+    LOADI(har, 128);     //hot-key threshold
+    MIN(har, sar);
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(nc_cms2);
+    MEMADD(nc_cms2);
+    MIN(har, sar);
+    BRANCH:
+    /*hot key: report to the control plane for cache admission*/
+    case(<har, 128, 0xffffffff>) {
+        REPORT;
+    };
+    FORWARD(32);          //cache miss goes to the server
+}
+`)
+	return b.String()
+}
+
+func dqaccSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ agg %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*database query packets*/\n")
+	b.WriteString("    <hdr.udp.dst_port, 7777, 0xffff>) {\n")
+	b.WriteString(`    EXTRACT(hdr.nc.key1, har);  //predicate column
+    EXTRACT(hdr.nc.value, sar); //aggregated column
+    BRANCH:
+    /*predicate pushdown: value < 2^31 passes the WHERE clause*/
+    case(<har, 0, 0x80000000>) {
+        HASH_5_TUPLE_MEM(agg);
+        MEMADD(agg);            //partial aggregation in-switch
+        MODIFY(hdr.nc.value, sar);
+        RETURN;                 //early result to the client
+    };
+    FORWARD(32); //pushdown miss: full query to the database
+}
+`)
+	return b.String()
+}
+
+func fwSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ fw_bf %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*TCP only*/\n")
+	b.WriteString("    <hdr.ipv4.proto, 6, 0xff>) {\n")
+	b.WriteString(`    EXTRACT(hdr.ipv4.src, har);
+    BRANCH:
+    /*outbound: from the protected prefix, record the connection*/
+    case(<har, 10.0.0.0, 0xff000000>) {
+        LOADI(sar, 1);
+        HASH_5_TUPLE_MEM(fw_bf);
+        MEMOR(fw_bf);  //insert into the connection filter
+        FORWARD(1);
+    }
+    /*inbound: admit only if a connection exists*/
+    case(<har, 0, 0>) {
+        LOADI(sar, 0);
+        HASH_5_TUPLE_MEM(fw_bf);
+        MEMOR(fw_bf);  //probe the connection filter
+        BRANCH:
+        case(<sar, 1, 0xffffffff>) {
+            FORWARD(2);
+        };
+        DROP; //unknown inbound connection
+    };
+}
+`)
+	return b.String()
+}
+
+func l2fwdSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(<hdr.eth.dst_lo, 0, 0>) {\n", name)
+	b.WriteString("    EXTRACT(hdr.eth.dst_lo, har);\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < p.Elastic; k++ {
+		if k == 2 {
+			b.WriteString("    //<elastic>\n")
+		}
+		fmt.Fprintf(&b, "    elastic case(<har, 0x%08x, 0xffffffff>) {\n", 0x0a000001+uint32(k))
+		fmt.Fprintf(&b, "        FORWARD(%d);\n", (k+1)%64)
+		b.WriteString("    }\n")
+	}
+	if p.Elastic > 2 {
+		b.WriteString("    //</elastic>\n")
+	}
+	b.WriteString("    FORWARD(0); //flood port\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func l3routeSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(<hdr.ipv4.dst, 0, 0>) {\n", name)
+	b.WriteString("    EXTRACT(hdr.ipv4.dst, har);\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < p.Elastic; k++ {
+		if k == 2 {
+			b.WriteString("    //<elastic>\n")
+		}
+		fmt.Fprintf(&b, "    elastic case(<har, 0x%08x, 0xffff0000>) {\n", uint32(10)<<24|uint32(k+1)<<16)
+		fmt.Fprintf(&b, "        FORWARD(%d);\n", (k+1)%64)
+		b.WriteString("    }\n")
+	}
+	if p.Elastic > 2 {
+		b.WriteString("    //</elastic>\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func tunnelSource(name string, _ Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(<hdr.ipv4.dst, 192.168.0.0, 0xffff0000>) {\n", name)
+	b.WriteString(`    LOADI(har, 10.9.0.1);      //tunnel endpoint
+    MODIFY(hdr.ipv4.dst, har); //encapsulate by rewrite
+    FORWARD(4);
+}
+`)
+	return b.String()
+}
+
+func calcSource(name string, _ Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*calculator packets*/\n")
+	b.WriteString("    <hdr.udp.dst_port, 9998, 0xffff>) {\n")
+	b.WriteString(`    EXTRACT(hdr.calc.op, har);
+    EXTRACT(hdr.calc.a, sar);
+    EXTRACT(hdr.calc.b, mar);
+    BRANCH:
+    case(<har, 1, 0xffffffff>) {
+        ADD(sar, mar);
+        MODIFY(hdr.calc.res, sar);
+        RETURN;
+    }
+    case(<har, 2, 0xffffffff>) {
+        SUB(sar, mar);
+        MODIFY(hdr.calc.res, sar);
+        RETURN;
+    }
+    case(<har, 3, 0xffffffff>) {
+        AND(sar, mar);
+        MODIFY(hdr.calc.res, sar);
+        RETURN;
+    }
+    case(<har, 4, 0xffffffff>) {
+        OR(sar, mar);
+        MODIFY(hdr.calc.res, sar);
+        RETURN;
+    }
+    case(<har, 5, 0xffffffff>) {
+        XOR(sar, mar);
+        MODIFY(hdr.calc.res, sar);
+        RETURN;
+    };
+    DROP; //unknown opcode
+}
+`)
+	return b.String()
+}
+
+func ecnSource(name string, _ Params) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(<hdr.ipv4.proto, 6, 0xff>) {\n", name)
+	b.WriteString(`    EXTRACT(meta.qdepth, har);
+    LOADI(sar, 1000);  //marking threshold
+    SGT(har, sar);     //har = 0 if qdepth >= threshold
+    BRANCH:
+    case(<har, 0, 0xffffffff>) {
+        LOADI(mar, 3);
+        MODIFY(hdr.ipv4.ecn, mar); //mark CE
+    };
+}
+`)
+	return b.String()
+}
+
+func cmsSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ cms_row1 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ cms_row2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    <hdr.ipv4.src, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString(`    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cms_row1);
+    MEMADD(cms_row1);
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(cms_row2);
+    MEMADD(cms_row2);
+}
+`)
+	return b.String()
+}
+
+func bfSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ bf_row1 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ bf_row2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    <hdr.ipv4.src, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString(`    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bf_row1);
+    MEMOR(bf_row1);
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bf_row2);
+    MEMOR(bf_row2);
+}
+`)
+	return b.String()
+}
+
+func sumaxSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ sx_row1 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ sx_row2 %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    <hdr.ipv4.src, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString(`    EXTRACT(hdr.ipv4.len, sar); //per-packet attribute
+    HASH_5_TUPLE_MEM(sx_row1);
+    MEMMAX(sx_row1);
+    HASH_5_TUPLE_MEM(sx_row2);
+    MEMMAX(sx_row2);
+}
+`)
+	return b.String()
+}
+
+// AggSource renders the in-network gradient aggregation program — the
+// paper's §7 observation realized: "implementing the simple aggregation
+// logic in SwitchML requires only modifying P4runpro to support multicast".
+// Workers send chunk updates; the switch accumulates them in stateful
+// memory; the packet carrying the final contribution of a chunk is
+// multicast back to every worker with the aggregated value, while earlier
+// contributions are consumed. The control plane configures multicast group
+// `group` with the worker ports and resets the pools between rounds.
+//
+// It is an extension beyond the paper's 15 evaluated programs and therefore
+// not part of the Table 1 registry.
+func AggSource(name string, workers int, group int, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ agg_sum %d\n", p.MemWords)
+	fmt.Fprintf(&b, "@ agg_cnt %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    /*aggregation packets reuse the cache header: key1 = chunk, value = gradient*/\n")
+	b.WriteString("    <hdr.udp.dst_port, 7777, 0xffff>) {\n")
+	b.WriteString("    EXTRACT(hdr.nc.key1, mar);  //chunk index = virtual address\n")
+	b.WriteString("    EXTRACT(hdr.nc.value, sar); //worker's gradient\n")
+	b.WriteString("    MEMADD(agg_sum);            //sum += gradient, sar = running sum\n")
+	b.WriteString("    MODIFY(hdr.nc.value, sar);  //carry the running sum\n")
+	b.WriteString("    LOADI(sar, 1);\n")
+	b.WriteString("    MEMADD(agg_cnt);            //arrivals++, sar = count\n")
+	b.WriteString("    BRANCH:\n")
+	b.WriteString("    /*last worker: broadcast the aggregate*/\n")
+	fmt.Fprintf(&b, "    case(<sar, %d, 0xffffffff>) {\n", workers)
+	fmt.Fprintf(&b, "        MULTICAST(%d);\n", group)
+	b.WriteString("    };\n")
+	b.WriteString("    DROP; //intermediate contribution consumed in-switch\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// hllSource renders the HyperLogLog estimator: the register index comes
+// from one hash, the rank (leading-zero count + 1) of an independent hash is
+// classified by 33 inelastic ternary case blocks — one per leading-zero
+// count — each updating the register with MEMMAX. The many inelastic blocks
+// are why HLL has by far the largest source and update delay in Table 1.
+func hllSource(name string, p Params) string {
+	p = p.normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "@ hll_regs %d\n", p.MemWords)
+	fmt.Fprintf(&b, "program %s(\n", name)
+	b.WriteString("    <hdr.ipv4.src, 10.0.0.0, 0xffff0000>) {\n")
+	b.WriteString("    HASH_5_TUPLE;              //rank hash into har\n")
+	b.WriteString("    HASH_5_TUPLE_MEM(hll_regs); //register index into mar\n")
+	b.WriteString("    BRANCH:\n")
+	for k := 0; k < 32; k++ {
+		value := uint32(0x80000000) >> uint(k)
+		mask := ^uint32(0) << uint(31-k)
+		fmt.Fprintf(&b, "    /*rank %d: %d leading zeros*/\n", k+1, k)
+		fmt.Fprintf(&b, "    case(<har, 0x%08x, 0x%08x>) {\n", value, mask)
+		fmt.Fprintf(&b, "        LOADI(sar, %d);\n", k+1)
+		b.WriteString("        MEMMAX(hll_regs);\n")
+		b.WriteString("    }\n")
+	}
+	b.WriteString("    /*rank 33: the hash is zero*/\n")
+	b.WriteString("    case(<har, 0, 0xffffffff>) {\n")
+	b.WriteString("        LOADI(sar, 33);\n")
+	b.WriteString("        MEMMAX(hll_regs);\n")
+	b.WriteString("    };\n")
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMgr() *Manager { return NewManager(22, 10, 2048, 65536) }
+
+func TestEntriesAccounting(t *testing.T) {
+	m := newMgr()
+	if m.FreeEntries(1) != 2048 || m.UsedEntries(1) != 0 {
+		t.Fatal("fresh manager not empty")
+	}
+	alloc := &ProgramAlloc{Name: "p1", Entries: map[RPBID]int{1: 100, 5: 50}}
+	if err := m.Commit(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeEntries(1) != 1948 || m.FreeEntries(5) != 1998 {
+		t.Errorf("free = %d, %d", m.FreeEntries(1), m.FreeEntries(5))
+	}
+	if alloc.ProgramID == 0 {
+		t.Error("no program ID assigned")
+	}
+	ra, err := m.BeginRevoke("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeEntries(1) != 2048 {
+		t.Error("entries not released at BeginRevoke")
+	}
+	if err := m.FinishRevoke(ra); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryFirstFit(t *testing.T) {
+	m := newMgr()
+	a := &ProgramAlloc{Name: "a", Blocks: []MemBlock{{Name: "m", RPB: 3, Size: 1024}}, Entries: map[RPBID]int{}}
+	b := &ProgramAlloc{Name: "b", Blocks: []MemBlock{{Name: "m", RPB: 3, Size: 512}}, Entries: map[RPBID]int{}}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Blocks[0].Start != 0 || b.Blocks[0].Start != 1024 {
+		t.Errorf("starts = %d, %d (first-fit expected)", a.Blocks[0].Start, b.Blocks[0].Start)
+	}
+	if m.FreeMemory(3) != 65536-1536 {
+		t.Errorf("free = %d", m.FreeMemory(3))
+	}
+}
+
+func TestMemoryCoalescing(t *testing.T) {
+	m := newMgr()
+	var allocs []*ProgramAlloc
+	for i := 0; i < 4; i++ {
+		a := &ProgramAlloc{
+			Name:    string(rune('a' + i)),
+			Blocks:  []MemBlock{{Name: "m", RPB: 1, Size: 256}},
+			Entries: map[RPBID]int{},
+		}
+		if err := m.Commit(a); err != nil {
+			t.Fatal(err)
+		}
+		allocs = append(allocs, a)
+	}
+	// Free the middle two; the partitions must coalesce into one 512 run.
+	for _, i := range []int{1, 2} {
+		ra, err := m.BeginRevoke(allocs[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.FinishRevoke(ra); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.MaxContiguous(1); got != 65536-1024+512 {
+		// Free space: tail (65536-1024) coalesced with nothing; the hole
+		// is 512. Max contiguous is the tail.
+		if got != 65536-1024 {
+			t.Errorf("MaxContiguous = %d", got)
+		}
+	}
+	// A 512 block fits exactly into the coalesced hole (first-fit).
+	c := &ProgramAlloc{Name: "c", Blocks: []MemBlock{{Name: "m", RPB: 1, Size: 512}}, Entries: map[RPBID]int{}}
+	if err := m.Commit(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Blocks[0].Start != 256 {
+		t.Errorf("hole not reused: start = %d", c.Blocks[0].Start)
+	}
+}
+
+func TestPowerOfTwoOnly(t *testing.T) {
+	m := newMgr()
+	bad := &ProgramAlloc{Name: "x", Blocks: []MemBlock{{Name: "m", RPB: 1, Size: 1000}}, Entries: map[RPBID]int{}}
+	if err := m.Commit(bad); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, ok := m.Program("x"); ok {
+		t.Error("failed commit left residue")
+	}
+	if m.FreeMemory(1) != 65536 {
+		t.Error("failed commit leaked memory")
+	}
+}
+
+func TestCommitRollbackOnEntryFailure(t *testing.T) {
+	m := NewManager(4, 2, 100, 4096)
+	a := &ProgramAlloc{
+		Name:    "big",
+		Blocks:  []MemBlock{{Name: "m1", RPB: 1, Size: 1024}, {Name: "m2", RPB: 2, Size: 1024}},
+		Entries: map[RPBID]int{1: 50, 2: 200}, // 200 > capacity 100
+	}
+	if err := m.Commit(a); err == nil {
+		t.Fatal("infeasible commit succeeded")
+	}
+	for rpb := RPBID(1); rpb <= 4; rpb++ {
+		if m.FreeMemory(rpb) != 4096 || m.FreeEntries(rpb) != 100 {
+			t.Errorf("RPB %d not rolled back: mem %d entries %d", rpb, m.FreeMemory(rpb), m.FreeEntries(rpb))
+		}
+	}
+}
+
+func TestLockedMemoryUnavailable(t *testing.T) {
+	m := NewManager(2, 1, 100, 1024)
+	a := &ProgramAlloc{Name: "a", Blocks: []MemBlock{{Name: "m", RPB: 1, Size: 1024}}, Entries: map[RPBID]int{}}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := m.BeginRevoke("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between BeginRevoke and FinishRevoke the memory is locked: a new
+	// program must NOT get it.
+	b := &ProgramAlloc{Name: "b", Blocks: []MemBlock{{Name: "m", RPB: 1, Size: 1024}}, Entries: map[RPBID]int{}}
+	if err := m.Commit(b); err == nil {
+		t.Fatal("locked memory was reallocated before reset completed")
+	}
+	if err := m.FinishRevoke(ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(b); err != nil {
+		t.Fatalf("after unlock: %v", err)
+	}
+}
+
+func TestProgramIDReuse(t *testing.T) {
+	m := newMgr()
+	a := &ProgramAlloc{Name: "a", Entries: map[RPBID]int{}}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	pid := a.ProgramID
+	ra, _ := m.BeginRevoke("a")
+	_ = m.FinishRevoke(ra)
+	b := &ProgramAlloc{Name: "b", Entries: map[RPBID]int{}}
+	if err := m.Commit(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.ProgramID != pid {
+		t.Errorf("freed PID %d not reused (got %d)", pid, b.ProgramID)
+	}
+}
+
+func TestDuplicateProgramRejected(t *testing.T) {
+	m := newMgr()
+	if err := m.Commit(&ProgramAlloc{Name: "p", Entries: map[RPBID]int{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(&ProgramAlloc{Name: "p", Entries: map[RPBID]int{}}); err == nil {
+		t.Error("duplicate program accepted")
+	}
+	if got := m.Programs(); len(got) != 1 || got[0] != "p" {
+		t.Errorf("programs = %v", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m := newMgr()
+	a := &ProgramAlloc{
+		Name:    "p",
+		Blocks:  []MemBlock{{Name: "pad", RPB: 2, Size: 256}, {Name: "m", RPB: 2, Size: 256}},
+		Entries: map[RPBID]int{},
+	}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	rpb, paddr, err := m.Translate("p", "m", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpb != 2 || paddr != 256+10 {
+		t.Errorf("translate = RPB %d addr %d", rpb, paddr)
+	}
+	if _, _, err := m.Translate("p", "m", 256); err == nil {
+		t.Error("out-of-range vaddr accepted")
+	}
+	if _, _, err := m.Translate("p", "nope", 0); err == nil {
+		t.Error("unknown memory accepted")
+	}
+	if _, _, err := m.Translate("ghost", "m", 0); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestSnapshotAndUtilization(t *testing.T) {
+	m := newMgr()
+	a := &ProgramAlloc{
+		Name:    "p",
+		Blocks:  []MemBlock{{Name: "m", RPB: 4, Size: 1024}},
+		Entries: map[RPBID]int{4: 512},
+	}
+	if err := m.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 22 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	u := snap[3]
+	if u.RPB != 4 || u.EntriesUsed != 512 || u.MemUsed != 1024 {
+		t.Errorf("RPB4 = %+v", u)
+	}
+	mem, ent := m.TotalUtilization()
+	if mem <= 0 || ent <= 0 || mem > 1 || ent > 1 {
+		t.Errorf("utilization = %f, %f", mem, ent)
+	}
+}
+
+func TestIsIngress(t *testing.T) {
+	m := newMgr()
+	if !m.IsIngress(10) || m.IsIngress(11) {
+		t.Error("ingress boundary wrong")
+	}
+}
+
+// TestAllocFreeProperty: random commit/revoke sequences never double-
+// allocate overlapping memory, and full revocation restores a pristine
+// manager.
+func TestAllocFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewManager(4, 2, 1000, 8192)
+		type live struct {
+			name   string
+			blocks []MemBlock
+		}
+		var alive []live
+		ranges := map[RPBID][][2]uint32{}
+		overlaps := func(r RPBID, start, size uint32) bool {
+			for _, iv := range ranges[r] {
+				if start < iv[1] && iv[0] < start+size {
+					return true
+				}
+			}
+			return false
+		}
+		for op := 0; op < 60; op++ {
+			if rng.Intn(3) != 0 || len(alive) == 0 {
+				name := string(rune('A'+op%26)) + string(rune('a'+op/26))
+				size := uint32(1) << (4 + rng.Intn(6)) // 16..512
+				rpb := RPBID(rng.Intn(4) + 1)
+				a := &ProgramAlloc{
+					Name:    name,
+					Blocks:  []MemBlock{{Name: "m", RPB: rpb, Size: size}},
+					Entries: map[RPBID]int{rpb: rng.Intn(50)},
+				}
+				if err := m.Commit(a); err != nil {
+					continue
+				}
+				blk := a.Blocks[0]
+				if overlaps(blk.RPB, blk.Start, blk.Size) {
+					t.Logf("overlap at %+v", blk)
+					return false
+				}
+				ranges[blk.RPB] = append(ranges[blk.RPB], [2]uint32{blk.Start, blk.Start + blk.Size})
+				alive = append(alive, live{name: name, blocks: a.Blocks})
+			} else {
+				idx := rng.Intn(len(alive))
+				ra, err := m.BeginRevoke(alive[idx].name)
+				if err != nil {
+					return false
+				}
+				if err := m.FinishRevoke(ra); err != nil {
+					return false
+				}
+				blk := alive[idx].blocks[0]
+				ivs := ranges[blk.RPB]
+				for i, iv := range ivs {
+					if iv[0] == blk.Start {
+						ranges[blk.RPB] = append(ivs[:i:i], ivs[i+1:]...)
+						break
+					}
+				}
+				alive = append(alive[:idx:idx], alive[idx+1:]...)
+			}
+		}
+		for _, l := range alive {
+			ra, err := m.BeginRevoke(l.name)
+			if err != nil {
+				return false
+			}
+			if err := m.FinishRevoke(ra); err != nil {
+				return false
+			}
+		}
+		for r := RPBID(1); r <= 4; r++ {
+			if m.FreeMemory(r) != 8192 || m.MaxContiguous(r) != 8192 || m.FreeEntries(r) != 1000 {
+				t.Logf("RPB %d not pristine: mem %d contig %d entries %d",
+					r, m.FreeMemory(r), m.MaxContiguous(r), m.FreeEntries(r))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

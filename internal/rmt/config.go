@@ -1,0 +1,95 @@
+// Package rmt simulates a Reconfigurable Match-Action Table (RMT) switch
+// ASIC in the style of Intel Tofino: an ingress and an egress pipeline of
+// match-action stages, a traffic manager between them, per-stage stateful
+// register arrays driven by stateful ALUs, CRC hash units, a packet header
+// vector (PHV) of fixed containers, ternary match tables with atomic
+// single-entry updates, bounded recirculation, and chip-wide resource
+// accounting.
+//
+// The simulator exposes exactly the hardware abstraction that P4runpro's
+// compiler and data plane consume (paper §4): fixed stages provisioned at
+// "compile time" (switch construction), runtime reconfiguration restricted
+// to table entries and register values, one stateful-memory access per
+// stage per packet, and forwarding decisions only in ingress.
+package rmt
+
+import "p4runpro/internal/hashing"
+
+// Gress selects a pipeline direction.
+type Gress int
+
+// Pipeline directions.
+const (
+	Ingress Gress = iota
+	Egress
+)
+
+func (g Gress) String() string {
+	if g == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// Config fixes the hardware dimensions of a simulated ASIC. The defaults
+// mirror the paper's single-pipeline Tofino prototype (§5).
+type Config struct {
+	IngressStages int // match-action stages in the ingress pipeline
+	EgressStages  int // match-action stages in the egress pipeline
+
+	TableCapacity int // ternary entries per stage-resident table
+	MemoryWords   int // 32-bit stateful words per stage
+	HashUnits     int // hash units per stage
+	VLIWSlots     int // VLIW action slots per stage
+	PHVBits       int // total PHV capacity in bits
+	Ports         int // external ports
+	RecircPort    int // internal loopback port index
+	MaxRecirc     int // maximum recirculation passes per packet
+	// EmitOnRecirc switches the traffic manager to chain mode (paper
+	// §4.1.3: "recirculation can also be replaced by multiple switches
+	// deployed on the same path"): a recirculation-flagged packet is not
+	// looped internally but returned with VerdictNextHop, carrying its
+	// execution context in the recirculation shim, for injection into the
+	// next switch of the chain.
+	EmitOnRecirc    bool
+	ClockGHz        float64
+	PortGbps        float64
+	PowerBudgetWatt float64
+}
+
+// DefaultConfig returns the prototype dimensions from the paper: a single
+// Tofino pipeline with 12+12 stages (10 ingress RPBs after the
+// initialization and recirculation blocks, 12 egress RPBs), 2,048-entry
+// tables and 65,536-word memories per RPB, and R=1 recirculation.
+func DefaultConfig() Config {
+	return Config{
+		IngressStages:   12,
+		EgressStages:    12,
+		TableCapacity:   2048,
+		MemoryWords:     65536,
+		HashUnits:       2,
+		VLIWSlots:       32,
+		PHVBits:         4096,
+		Ports:           64,
+		RecircPort:      68,
+		MaxRecirc:       1,
+		ClockGHz:        1.22,
+		PortGbps:        100,
+		PowerBudgetWatt: 40.0,
+	}
+}
+
+// StageCount returns the number of stages in the given gress.
+func (c Config) StageCount(g Gress) int {
+	if g == Ingress {
+		return c.IngressStages
+	}
+	return c.EgressStages
+}
+
+// stageHashParams assigns CRC algorithms to a stage's hash units
+// round-robin, matching the prototype's use of the four standard CRC-16s.
+func stageHashParams(stage, unit int) hashing.CRC16Params {
+	all := hashing.StandardCRC16
+	return all[(stage*7+unit)%len(all)]
+}

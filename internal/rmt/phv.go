@@ -1,0 +1,147 @@
+package rmt
+
+import (
+	"fmt"
+	"sort"
+
+	"p4runpro/internal/pkt"
+)
+
+// PHVLayout records the scratch fields a data-plane program has allocated in
+// the packet header vector, for both access and resource accounting. Fields
+// are defined once at provisioning time; the layout is immutable at runtime,
+// exactly like real PHV allocation.
+type PHVLayout struct {
+	fields map[string]phvField
+	order  []string
+	bits   int
+	limit  int
+}
+
+type phvField struct {
+	index int
+	bits  int
+}
+
+// NewPHVLayout creates an empty layout bounded by the chip's PHV capacity.
+func NewPHVLayout(limitBits int) *PHVLayout {
+	return &PHVLayout{fields: make(map[string]phvField), limit: limitBits}
+}
+
+// Define allocates a named scratch field of the given width (1–32 bits).
+func (l *PHVLayout) Define(name string, bits int) error {
+	if bits < 1 || bits > 32 {
+		return fmt.Errorf("rmt: phv field %q: width %d out of range [1,32]", name, bits)
+	}
+	if _, dup := l.fields[name]; dup {
+		return fmt.Errorf("rmt: phv field %q already defined", name)
+	}
+	if l.bits+bits > l.limit {
+		return fmt.Errorf("rmt: phv exhausted: %d+%d > %d bits", l.bits, bits, l.limit)
+	}
+	l.fields[name] = phvField{index: len(l.order), bits: bits}
+	l.order = append(l.order, name)
+	l.bits += bits
+	return nil
+}
+
+// Bits returns the allocated PHV bits.
+func (l *PHVLayout) Bits() int { return l.bits }
+
+// Fields returns the defined field names in a stable order.
+func (l *PHVLayout) Fields() []string {
+	out := append([]string(nil), l.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Metadata is the intrinsic metadata portion of the PHV: what the parser and
+// traffic manager populate and consume.
+type Metadata struct {
+	IngressPort int
+	EgressSpec  int
+	Drop        bool
+	Reflect     bool // RETURN: send back out the ingress port
+	ToCPU       bool // REPORT
+	Recirc      bool // set by the recirculation block
+	McastGroup  int  // MULTICAST: nonzero selects a replication group
+	QueueDepth  uint32
+	PktLen      uint32
+}
+
+// PHV is the per-packet header vector flowing through the pipelines: the
+// parsed packet, intrinsic metadata, and program-defined scratch fields.
+type PHV struct {
+	Packet *pkt.Packet
+	Meta   Metadata
+
+	layout *PHVLayout
+	vals   []uint32
+
+	// memTouched tracks which stages' register arrays this packet has
+	// already accessed in the current pass, to enforce the hardware's
+	// one-stateful-access-per-stage-per-packet rule.
+	memTouched map[int]bool
+	gress      Gress
+	stage      int
+}
+
+// NewPHV wraps a parsed packet for one pipeline pass. A nil packet yields a
+// PHV with only metadata and scratch fields (used by tests and synthetic
+// probes).
+func NewPHV(layout *PHVLayout, p *pkt.Packet, ingressPort int) *PHV {
+	var pktLen uint32
+	if p != nil {
+		pktLen = uint32(p.WireLen)
+	}
+	return &PHV{
+		Packet: p,
+		Meta: Metadata{
+			IngressPort: ingressPort,
+			EgressSpec:  -1,
+			PktLen:      pktLen,
+		},
+		layout:     layout,
+		vals:       make([]uint32, len(layout.order)),
+		memTouched: make(map[int]bool),
+	}
+}
+
+// Get reads a scratch field; unknown names panic because they indicate a
+// provisioning bug, not a runtime condition.
+func (p *PHV) Get(name string) uint32 {
+	f, ok := p.layout.fields[name]
+	if !ok {
+		panic(fmt.Sprintf("rmt: undefined phv field %q", name))
+	}
+	return p.vals[f.index] & widthMask(f.bits)
+}
+
+// Set writes a scratch field, truncating to the field width.
+func (p *PHV) Set(name string, v uint32) {
+	f, ok := p.layout.fields[name]
+	if !ok {
+		panic(fmt.Sprintf("rmt: undefined phv field %q", name))
+	}
+	p.vals[f.index] = v & widthMask(f.bits)
+}
+
+// ResetPass clears per-pass execution state before a recirculation pass.
+// Deferred forwarding verdicts (Drop/Reflect/ToCPU/EgressSpec) persist
+// across passes — they are applied by the traffic manager after the final
+// pass — only the recirculation request and the stateful-access set reset.
+func (p *PHV) ResetPass() {
+	p.memTouched = make(map[int]bool)
+	p.Meta.Recirc = false
+}
+
+// CurrentStage reports the pipeline position during action execution, used
+// by stateful action helpers to locate the stage's register array.
+func (p *PHV) CurrentStage() (Gress, int) { return p.gress, p.stage }
+
+func widthMask(bits int) uint32 {
+	if bits >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<uint(bits) - 1
+}

@@ -1,0 +1,88 @@
+package rmt
+
+// Resources summarizes chip-wide usage of the seven resource classes that
+// the paper's Figure 10 compares (PHV, hash units, SRAM, TCAM, VLIW, SALU,
+// logical table IDs).
+type Resources struct {
+	PHVBits      int
+	HashUnits    int
+	SRAMWords    int // stateful memory words behind provisioned tables
+	TCAMEntries  int // ternary entry capacity across tables
+	VLIWSlots    int
+	SALUs        int
+	LogicalTable int
+}
+
+// Provisioned returns the static usage of the currently provisioned data
+// plane image: what was fixed at compile time and cannot change at runtime.
+func (s *Switch) Provisioned() Resources {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := Resources{PHVBits: s.layout.Bits()}
+	stagesWithTables := make(map[stageKey]bool)
+	for _, t := range s.tables {
+		r.TCAMEntries += t.Capacity()
+		r.VLIWSlots += t.VLIWUsage()
+		r.LogicalTable++
+		stagesWithTables[stageKey{t.Gress, t.Stage}] = true
+	}
+	for k := range stagesWithTables {
+		r.SRAMWords += s.arrays[k].Size()
+		r.SALUs++
+		r.HashUnits += len(s.hash[k])
+	}
+	return r
+}
+
+// Capacity returns the chip's total resource budget, the denominator for
+// utilization percentages. The chip carries substantially more SRAM than
+// the per-stage register arrays a data plane image claims (the paper:
+// "unused SRAM can be leveraged to scale the memory size"), so the SRAM
+// budget is larger than stages × MemoryWords.
+func (s *Switch) Capacity() Resources {
+	stages := s.cfg.IngressStages + s.cfg.EgressStages
+	return Resources{
+		PHVBits:      s.cfg.PHVBits,
+		HashUnits:    stages * s.cfg.HashUnits,
+		SRAMWords:    stages * s.cfg.MemoryWords * 8 / 3,
+		TCAMEntries:  stages * s.cfg.TableCapacity,
+		VLIWSlots:    stages * s.cfg.VLIWSlots,
+		SALUs:        stages,
+		LogicalTable: stages * 8, // Tofino exposes up to 16 LTIDs/stage; half usable per gress image
+	}
+}
+
+// RecircLoad models the line-rate impact of recirculation (paper Figure 11)
+// with a fluid model: each recirculation pass re-sends the packet through a
+// loopback port of the same capacity as the external port, carrying an extra
+// shim of shimBytes. The returned fraction is the maximum loss-free external
+// throughput relative to line rate, and the added zero-queue latency in
+// milliseconds.
+//
+// The shape matches the paper: at R=1 loss ranges from ≈10 % for 128 B
+// packets to ≈1 % for 1500 B, and added latency grows to only ≈0.5–1.5 ms at
+// R=6 thanks to the pipeline's processing rate.
+func RecircLoad(pktBytes, iterations, shimBytes int, portGbps float64) (throughputFrac, addedLatencyMs float64) {
+	if iterations <= 0 {
+		return 1.0, 0
+	}
+	s := float64(pktBytes)
+	// Per external packet, the recirculation port must carry
+	// iterations × (packet + shim) bytes; it saturates first.
+	recircPerPkt := float64(iterations) * (s + float64(shimBytes))
+	throughputFrac = s / recircPerPkt
+	if throughputFrac > 1 {
+		throughputFrac = 1
+	}
+	// Loss-free throughput also cannot exceed line rate minus the
+	// per-packet shim overhead on the shared pipeline path.
+	sharing := s / (s + float64(shimBytes)*float64(iterations))
+	if sharing < throughputFrac {
+		throughputFrac = sharing
+	}
+	// Added latency: per pass, one pipeline traversal plus loopback
+	// serialization and a small queueing allowance at the recirc port.
+	perPassMs := 0.08 + (s+float64(shimBytes))*8/(portGbps*1e9)*1e3*1500
+	addedLatencyMs = float64(iterations) * perPassMs
+	return throughputFrac, addedLatencyMs
+}

@@ -1,0 +1,149 @@
+package rmt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SALUOp selects the stateful-ALU operation performed against one memory
+// word. The set mirrors the paper's memory primitives (Table 3): each
+// operation combines the bucket value and the sar operand, writes the bucket
+// and/or returns a result, in a single stage visit.
+type SALUOp int
+
+// SALU operations.
+const (
+	SALURead  SALUOp = iota // result = mem
+	SALUWrite               // mem = operand
+	SALUAdd                 // mem += operand; result = new mem
+	SALUSub                 // mem -= operand; result = new mem
+	SALUAnd                 // mem &= operand; result = new mem
+	SALUOr                  // result = old mem; mem |= operand
+	SALUMax                 // mem = max(mem, operand); result = old mem
+)
+
+func (op SALUOp) String() string {
+	switch op {
+	case SALURead:
+		return "read"
+	case SALUWrite:
+		return "write"
+	case SALUAdd:
+		return "add"
+	case SALUSub:
+		return "sub"
+	case SALUAnd:
+		return "and"
+	case SALUOr:
+		return "or"
+	case SALUMax:
+		return "max"
+	}
+	return fmt.Sprintf("salu(%d)", int(op))
+}
+
+// RegisterArray is one stage's stateful memory: MemoryWords 32-bit buckets
+// behind a stateful ALU. The hardware permits exactly one access per packet
+// per stage; Switch enforces that via the PHV's per-pass access set.
+type RegisterArray struct {
+	gress Gress
+	stage int
+	mu    sync.Mutex
+	words []uint32
+}
+
+// NewRegisterArray allocates a zeroed array.
+func NewRegisterArray(g Gress, stage, words int) *RegisterArray {
+	return &RegisterArray{gress: g, stage: stage, words: make([]uint32, words)}
+}
+
+// Size returns the word count.
+func (r *RegisterArray) Size() int { return len(r.words) }
+
+// Execute performs one SALU operation at a physical address. Addresses out
+// of range return an error: the hardware would silently wrap, but in the
+// simulator an out-of-range physical address always indicates an address-
+// translation bug and must surface.
+func (r *RegisterArray) Execute(op SALUOp, addr uint32, operand uint32) (uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(addr) >= len(r.words) {
+		return 0, fmt.Errorf("rmt: %s stage %d: physical address %d out of range [0,%d)", r.gress, r.stage, addr, len(r.words))
+	}
+	old := r.words[addr]
+	var result uint32
+	switch op {
+	case SALURead:
+		result = old
+	case SALUWrite:
+		r.words[addr] = operand
+		result = operand
+	case SALUAdd:
+		r.words[addr] = old + operand
+		result = r.words[addr]
+	case SALUSub:
+		r.words[addr] = old - operand
+		result = r.words[addr]
+	case SALUAnd:
+		r.words[addr] = old & operand
+		result = r.words[addr]
+	case SALUOr:
+		r.words[addr] = old | operand
+		result = old
+	case SALUMax:
+		if operand > old {
+			r.words[addr] = operand
+		}
+		result = old
+	default:
+		return 0, fmt.Errorf("rmt: unknown SALU op %d", int(op))
+	}
+	return result, nil
+}
+
+// Peek reads a word without modeling a packet access (control-plane read).
+func (r *RegisterArray) Peek(addr uint32) (uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(addr) >= len(r.words) {
+		return 0, fmt.Errorf("rmt: peek address %d out of range", addr)
+	}
+	return r.words[addr], nil
+}
+
+// Poke writes a word from the control plane.
+func (r *RegisterArray) Poke(addr uint32, v uint32) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(addr) >= len(r.words) {
+		return fmt.Errorf("rmt: poke address %d out of range", addr)
+	}
+	r.words[addr] = v
+	return nil
+}
+
+// ResetRange zeroes [start, start+n), used when the resource manager locks
+// and resets a terminated program's memory (paper §4.3 "Consistent Update").
+func (r *RegisterArray) ResetRange(start, n uint32) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(start)+int(n) > len(r.words) {
+		return fmt.Errorf("rmt: reset range [%d,%d) out of bounds", start, start+n)
+	}
+	for i := start; i < start+n; i++ {
+		r.words[i] = 0
+	}
+	return nil
+}
+
+// Snapshot copies [start, start+n) for control-plane monitoring.
+func (r *RegisterArray) Snapshot(start, n uint32) ([]uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(start)+int(n) > len(r.words) {
+		return nil, fmt.Errorf("rmt: snapshot range [%d,%d) out of bounds", start, start+n)
+	}
+	out := make([]uint32, n)
+	copy(out, r.words[start:start+n])
+	return out, nil
+}

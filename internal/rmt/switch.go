@@ -1,0 +1,388 @@
+package rmt
+
+import (
+	"fmt"
+	"sync"
+
+	"p4runpro/internal/hashing"
+	"p4runpro/internal/pkt"
+)
+
+// Verdict is the final disposition of an injected packet.
+type Verdict int
+
+// Verdicts.
+const (
+	VerdictForwarded Verdict = iota
+	VerdictDropped
+	VerdictReflected // RETURN: sent back out the ingress port
+	VerdictToCPU     // REPORT
+	VerdictNoDecision
+	VerdictRecircOverflow
+	VerdictMulticast // MULTICAST: replicated to a group's ports
+	VerdictNextHop   // chain mode: handed to the next switch in the chain
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForwarded:
+		return "forwarded"
+	case VerdictDropped:
+		return "dropped"
+	case VerdictReflected:
+		return "reflected"
+	case VerdictToCPU:
+		return "to-cpu"
+	case VerdictNoDecision:
+		return "no-decision"
+	case VerdictRecircOverflow:
+		return "recirc-overflow"
+	case VerdictMulticast:
+		return "multicast"
+	case VerdictNextHop:
+		return "next-hop"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Result reports what happened to one injected packet.
+type Result struct {
+	Verdict  Verdict
+	OutPort  int
+	OutPorts []int // multicast replication targets
+	Packet   *pkt.Packet
+	Passes   int // pipeline passes consumed (1 = no recirculation)
+}
+
+// PortCounters accumulates per-port transmit statistics.
+type PortCounters struct {
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+// Switch is a provisioned RMT ASIC: fixed stages, tables, register arrays,
+// and hash units. Runtime reconfiguration is restricted to table entries and
+// register values, exactly as on real RMT hardware.
+type Switch struct {
+	cfg    Config
+	layout *PHVLayout
+
+	mu        sync.RWMutex
+	tables    map[string]*Table
+	stagePlan map[stageKey][]*Table // application order within a stage
+
+	arrays map[stageKey]*RegisterArray
+	hash   map[stageKey][]*hashing.Unit
+
+	onRecirc func(*PHV)
+	onParse  func(*PHV)
+	onEmit   func(*PHV)
+
+	mcastMu sync.RWMutex
+	mcast   map[int][]int // multicast group -> egress ports
+
+	ports   []PortCounters
+	rx      []PortCounters
+	cpu     []*pkt.Packet
+	cpuMu   sync.Mutex
+	cpuKeep int
+
+	recircPackets uint64
+	recircBytes   uint64
+
+	// queueDepth is the traffic manager's simulated queue occupancy,
+	// surfaced to programs as the meta.qdepth intrinsic.
+	queueDepth uint32
+}
+
+type stageKey struct {
+	g     Gress
+	stage int
+}
+
+// New provisions a switch with the given configuration. The PHV layout is
+// created empty; the data-plane program defines its scratch fields before
+// installing tables.
+func New(cfg Config) *Switch {
+	s := &Switch{
+		cfg:       cfg,
+		layout:    NewPHVLayout(cfg.PHVBits),
+		tables:    make(map[string]*Table),
+		stagePlan: make(map[stageKey][]*Table),
+		arrays:    make(map[stageKey]*RegisterArray),
+		hash:      make(map[stageKey][]*hashing.Unit),
+		ports:     make([]PortCounters, cfg.Ports+8),
+		rx:        make([]PortCounters, cfg.Ports+8),
+		cpuKeep:   1 << 16,
+	}
+	for g := Ingress; g <= Egress; g++ {
+		for st := 0; st < cfg.StageCount(g); st++ {
+			k := stageKey{g, st}
+			s.arrays[k] = NewRegisterArray(g, st, cfg.MemoryWords)
+			units := make([]*hashing.Unit, 0, cfg.HashUnits)
+			for u := 0; u < cfg.HashUnits; u++ {
+				if u == 0 {
+					units = append(units, hashing.NewUnit16(u, stageHashParams(st+int(g)*cfg.IngressStages, u)))
+				} else {
+					units = append(units, hashing.NewUnit32(u))
+				}
+			}
+			s.hash[k] = units
+		}
+	}
+	return s
+}
+
+// Config returns the hardware configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// PHVLayout returns the switch's PHV layout for field definition at
+// provisioning time.
+func (s *Switch) PHVLayout() *PHVLayout { return s.layout }
+
+// SetRecircHook installs a callback run when a packet re-enters the
+// pipeline after recirculation, standing in for the shim-header re-parse.
+func (s *Switch) SetRecircHook(fn func(*PHV)) { s.onRecirc = fn }
+
+// SetParseHook installs a callback run when a PHV is first built for an
+// injected packet — the data plane uses it to restore execution context
+// from a recirculation shim arriving from an upstream chain switch.
+func (s *Switch) SetParseHook(fn func(*PHV)) { s.onParse = fn }
+
+// SetEmitHook installs a callback run when, in chain mode
+// (Config.EmitOnRecirc), a recirculation-flagged packet is about to leave
+// for the next switch — the data plane serializes the execution context
+// into the shim there.
+func (s *Switch) SetEmitHook(fn func(*PHV)) { s.onEmit = fn }
+
+// SetMulticastGroup configures the traffic manager's replication list for a
+// group ID (control-plane raw API). An empty port list deletes the group.
+func (s *Switch) SetMulticastGroup(group int, ports []int) {
+	s.mcastMu.Lock()
+	defer s.mcastMu.Unlock()
+	if s.mcast == nil {
+		s.mcast = make(map[int][]int)
+	}
+	if len(ports) == 0 {
+		delete(s.mcast, group)
+		return
+	}
+	s.mcast[group] = append([]int(nil), ports...)
+}
+
+// MulticastGroup returns a group's replication list.
+func (s *Switch) MulticastGroup(group int) []int {
+	s.mcastMu.RLock()
+	defer s.mcastMu.RUnlock()
+	return append([]int(nil), s.mcast[group]...)
+}
+
+// AddTable creates and binds a table to a stage. Tables within a stage are
+// applied in creation order.
+func (s *Switch) AddTable(name string, g Gress, stage, capacity, nkeys int, keyFunc func(*PHV) []uint32) (*Table, error) {
+	if stage < 0 || stage >= s.cfg.StageCount(g) {
+		return nil, fmt.Errorf("rmt: %s stage %d out of range", g, stage)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("rmt: table %q already exists", name)
+	}
+	t := NewTable(name, g, stage, capacity, nkeys, keyFunc)
+	s.tables[name] = t
+	k := stageKey{g, stage}
+	s.stagePlan[k] = append(s.stagePlan[k], t)
+	return t, nil
+}
+
+// Table finds a table by name.
+func (s *Switch) Table(name string) (*Table, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns all tables (for accounting).
+func (s *Switch) Tables() []*Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Array returns the register array of a stage.
+func (s *Switch) Array(g Gress, stage int) (*RegisterArray, error) {
+	a, ok := s.arrays[stageKey{g, stage}]
+	if !ok {
+		return nil, fmt.Errorf("rmt: no register array at %s stage %d", g, stage)
+	}
+	return a, nil
+}
+
+// HashUnit returns hash unit idx of a stage.
+func (s *Switch) HashUnit(g Gress, stage, idx int) (*hashing.Unit, error) {
+	units, ok := s.hash[stageKey{g, stage}]
+	if !ok || idx < 0 || idx >= len(units) {
+		return nil, fmt.Errorf("rmt: no hash unit %d at %s stage %d", idx, g, stage)
+	}
+	return units[idx], nil
+}
+
+// AccessMemory performs this packet's single allowed stateful access in the
+// current stage. Actions must call it (rather than touching arrays directly)
+// so the one-access-per-stage hardware rule is enforced.
+func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, error) {
+	g, st := p.CurrentStage()
+	key := st
+	if g == Egress {
+		key = st + s.cfg.IngressStages
+	}
+	if p.memTouched[key] {
+		return 0, fmt.Errorf("rmt: second stateful access in %s stage %d (hardware allows one per packet per stage)", g, st)
+	}
+	p.memTouched[key] = true
+	return s.arrays[stageKey{g, st}].Execute(op, addr, operand)
+}
+
+// Inject runs one parsed packet through the switch, honoring recirculation,
+// and returns its final disposition. Forwarding flags set by ingress actions
+// are applied by the traffic manager after the final pass, so deferred
+// verdicts (e.g. DROP followed by MEMWRITE in the paper's cache program)
+// behave as on hardware, where drops are finalized at deparsing.
+func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
+	if inPort >= 0 && inPort < len(s.rx) {
+		s.rx[inPort].TxPackets++
+		s.rx[inPort].TxBytes += uint64(p.WireLen)
+	}
+	phv := NewPHV(s.layout, p, inPort)
+	phv.Meta.QueueDepth = s.queueDepth
+	if s.onParse != nil {
+		s.onParse(phv)
+	}
+	passes := 0
+	for {
+		passes++
+		s.runGress(phv, Ingress)
+		s.runGress(phv, Egress)
+		if !phv.Meta.Recirc {
+			break
+		}
+		if s.cfg.EmitOnRecirc {
+			// Chain mode: hand the packet, shim attached, to the next
+			// switch on the path instead of looping internally.
+			if s.onEmit != nil {
+				s.onEmit(phv)
+			}
+			return Result{Verdict: VerdictNextHop, OutPort: s.cfg.RecircPort, Packet: p, Passes: passes}
+		}
+		// Traffic manager: recirculate through the loopback port for
+		// another pipeline pass, unless the budget is exhausted.
+		if passes > s.cfg.MaxRecirc {
+			return Result{Verdict: VerdictRecircOverflow, OutPort: -1, Packet: p, Passes: passes}
+		}
+		s.recircPackets++
+		s.recircBytes += uint64(p.WireLen)
+		phv.ResetPass()
+		if s.onRecirc != nil {
+			// Model the recirculation shim re-parse: the data plane
+			// updates per-pass PHV state (e.g. the recirculation ID) as
+			// the packet re-enters the parser.
+			s.onRecirc(phv)
+		}
+	}
+	switch {
+	case phv.Meta.Drop:
+		return Result{Verdict: VerdictDropped, OutPort: -1, Packet: p, Passes: passes}
+	case phv.Meta.ToCPU:
+		s.cpuMu.Lock()
+		if len(s.cpu) < s.cpuKeep {
+			s.cpu = append(s.cpu, p)
+		}
+		s.cpuMu.Unlock()
+		return Result{Verdict: VerdictToCPU, OutPort: -1, Packet: p, Passes: passes}
+	case phv.Meta.McastGroup != 0:
+		ports := s.MulticastGroup(phv.Meta.McastGroup)
+		for _, port := range ports {
+			s.tx(port, p)
+		}
+		return Result{Verdict: VerdictMulticast, OutPort: -1, OutPorts: ports, Packet: p, Passes: passes}
+	case phv.Meta.Reflect:
+		s.tx(inPort, p)
+		return Result{Verdict: VerdictReflected, OutPort: inPort, Packet: p, Passes: passes}
+	case phv.Meta.EgressSpec >= 0:
+		s.tx(phv.Meta.EgressSpec, p)
+		return Result{Verdict: VerdictForwarded, OutPort: phv.Meta.EgressSpec, Packet: p, Passes: passes}
+	}
+	return Result{Verdict: VerdictNoDecision, OutPort: -1, Packet: p, Passes: passes}
+}
+
+// InjectBytes parses a wire frame and injects it.
+func (s *Switch) InjectBytes(frame []byte, inPort int) (Result, error) {
+	p, err := pkt.Parse(frame)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Inject(p, inPort), nil
+}
+
+func (s *Switch) runGress(phv *PHV, g Gress) {
+	phv.gress = g
+	n := s.cfg.StageCount(g)
+	for st := 0; st < n; st++ {
+		phv.stage = st
+		s.mu.RLock()
+		plan := s.stagePlan[stageKey{g, st}]
+		s.mu.RUnlock()
+		for _, t := range plan {
+			t.Apply(phv)
+		}
+	}
+}
+
+func (s *Switch) tx(port int, p *pkt.Packet) {
+	if port >= 0 && port < len(s.ports) {
+		s.ports[port].TxPackets++
+		s.ports[port].TxBytes += uint64(p.WireLen)
+	}
+}
+
+// PortStats returns the transmit counters of a port.
+func (s *Switch) PortStats(port int) PortCounters {
+	if port < 0 || port >= len(s.ports) {
+		return PortCounters{}
+	}
+	return s.ports[port]
+}
+
+// RecircStats returns cumulative recirculated packets and bytes.
+func (s *Switch) RecircStats() (packets, bytes uint64) {
+	return s.recircPackets, s.recircBytes
+}
+
+// DrainCPU returns and clears the packets reported to the CPU.
+func (s *Switch) DrainCPU() []*pkt.Packet {
+	s.cpuMu.Lock()
+	defer s.cpuMu.Unlock()
+	out := s.cpu
+	s.cpu = nil
+	return out
+}
+
+// SetQueueDepth sets the simulated traffic-manager queue occupancy exposed
+// to programs as meta.qdepth.
+func (s *Switch) SetQueueDepth(d uint32) { s.queueDepth = d }
+
+// ResetCounters zeroes all port counters (between experiment phases).
+func (s *Switch) ResetCounters() {
+	for i := range s.ports {
+		s.ports[i] = PortCounters{}
+	}
+	for i := range s.rx {
+		s.rx[i] = PortCounters{}
+	}
+	s.recircPackets, s.recircBytes = 0, 0
+}

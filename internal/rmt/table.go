@@ -1,0 +1,367 @@
+package rmt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EntryID names an installed entry for later deletion.
+type EntryID uint64
+
+// TernaryKey is one ternary match field: packet matches when
+// key & Mask == Value & Mask. A full mask is an exact match; a zero mask is
+// a wildcard.
+type TernaryKey struct {
+	Value uint32
+	Mask  uint32
+}
+
+// Exact builds a full-mask key.
+func Exact(v uint32) TernaryKey { return TernaryKey{Value: v, Mask: ^uint32(0)} }
+
+// Wild builds a zero-mask (always-matching) key.
+func Wild() TernaryKey { return TernaryKey{} }
+
+// Matches reports whether the extracted key value satisfies the ternary key.
+func (k TernaryKey) Matches(v uint32) bool { return v&k.Mask == k.Value&k.Mask }
+
+// ActionFunc executes a bound action against the PHV with entry parameters.
+type ActionFunc func(*PHV, []uint32)
+
+// Entry is an installed table entry.
+type Entry struct {
+	ID       EntryID
+	Keys     []TernaryKey
+	Priority int // higher wins among overlapping ternary entries
+	Action   string
+	Params   []uint32
+	Owner    string // installing program, for bookkeeping and debugging
+
+	// hits counts packets this entry matched (a direct counter, read via
+	// Hits); updated atomically because lookups hold only a read lock.
+	hits uint64
+}
+
+// Hits returns the entry's direct counter.
+func (e *Entry) Hits() uint64 { return atomic.LoadUint64(&e.hits) }
+
+// Table is a stage-resident ternary match-action table. All mutations are
+// atomic with respect to lookups (one RWMutex per table), modeling the RMT
+// architecture's per-entry update atomicity that P4runpro's consistent
+// update relies on (paper §4.3).
+type Table struct {
+	Name     string
+	Gress    Gress
+	Stage    int
+	capacity int
+
+	keyFunc func(*PHV) []uint32
+	nkeys   int
+
+	mu      sync.RWMutex
+	nextID  EntryID
+	actions map[string]actionDef
+	// exact-first-key index: RPB tables always match the program ID
+	// exactly as their first key, so bucket entries by it; entries whose
+	// first key is not a full mask go to the wildcard list.
+	buckets  map[uint32][]*Entry
+	wildcard []*Entry
+	count    int
+
+	defaultAction string
+	defaultParams []uint32
+
+	hits, misses uint64
+}
+
+type actionDef struct {
+	fn        ActionFunc
+	vliwSlots int
+}
+
+// NewTable creates a table bound to a stage. keyFunc extracts nkeys 32-bit
+// key values from the PHV per lookup.
+func NewTable(name string, g Gress, stage, capacity, nkeys int, keyFunc func(*PHV) []uint32) *Table {
+	return &Table{
+		Name:     name,
+		Gress:    g,
+		Stage:    stage,
+		capacity: capacity,
+		keyFunc:  keyFunc,
+		nkeys:    nkeys,
+		actions:  make(map[string]actionDef),
+		buckets:  make(map[uint32][]*Entry),
+	}
+}
+
+// RegisterAction binds an action implementation at provisioning time.
+// vliwSlots is the number of VLIW instruction slots the action occupies, for
+// resource accounting.
+func (t *Table) RegisterAction(name string, vliwSlots int, fn ActionFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.actions[name]; dup {
+		return fmt.Errorf("rmt: table %s: action %q already registered", t.Name, name)
+	}
+	t.actions[name] = actionDef{fn: fn, vliwSlots: vliwSlots}
+	return nil
+}
+
+// SetDefault configures the miss action; an empty name clears it.
+func (t *Table) SetDefault(action string, params ...uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if action != "" {
+		if _, ok := t.actions[action]; !ok {
+			return fmt.Errorf("rmt: table %s: unknown default action %q", t.Name, action)
+		}
+	}
+	t.defaultAction = action
+	t.defaultParams = params
+	return nil
+}
+
+// Insert installs an entry atomically. It fails when the table is full, the
+// action is unknown, or the key count is wrong.
+func (t *Table) Insert(keys []TernaryKey, priority int, action string, params []uint32, owner string) (EntryID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(keys) != t.nkeys {
+		return 0, fmt.Errorf("rmt: table %s: entry has %d keys, want %d", t.Name, len(keys), t.nkeys)
+	}
+	if _, ok := t.actions[action]; !ok {
+		return 0, fmt.Errorf("rmt: table %s: unknown action %q", t.Name, action)
+	}
+	if t.count >= t.capacity {
+		return 0, fmt.Errorf("rmt: table %s: full (%d entries)", t.Name, t.capacity)
+	}
+	t.nextID++
+	e := &Entry{ID: t.nextID, Keys: keys, Priority: priority, Action: action, Params: params, Owner: owner}
+	if keys[0].Mask == ^uint32(0) {
+		t.buckets[keys[0].Value] = insertByPriority(t.buckets[keys[0].Value], e)
+	} else {
+		t.wildcard = insertByPriority(t.wildcard, e)
+	}
+	t.count++
+	return e.ID, nil
+}
+
+// insertByPriority places e after all existing entries of priority >=
+// e.Priority (stable: earlier installs win ties), keeping the slice sorted
+// by descending priority without re-sorting.
+func insertByPriority(list []*Entry, e *Entry) []*Entry {
+	idx := sort.Search(len(list), func(i int) bool { return list[i].Priority < e.Priority })
+	list = append(list, nil)
+	copy(list[idx+1:], list[idx:])
+	list[idx] = e
+	return list
+}
+
+// Delete removes an entry atomically.
+func (t *Table) Delete(id EntryID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, b := range t.buckets {
+		for i, e := range b {
+			if e.ID == id {
+				t.buckets[k] = append(b[:i:i], b[i+1:]...)
+				if len(t.buckets[k]) == 0 {
+					delete(t.buckets, k)
+				}
+				t.count--
+				return nil
+			}
+		}
+	}
+	for i, e := range t.wildcard {
+		if e.ID == id {
+			t.wildcard = append(t.wildcard[:i:i], t.wildcard[i+1:]...)
+			t.count--
+			return nil
+		}
+	}
+	return fmt.Errorf("rmt: table %s: entry %d not found", t.Name, id)
+}
+
+// DeleteOwned removes every entry installed under owner and returns how many
+// were deleted.
+func (t *Table) DeleteOwned(owner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for k, b := range t.buckets {
+		kept := b[:0]
+		for _, e := range b {
+			if e.Owner == owner {
+				n++
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(t.buckets, k)
+		} else {
+			t.buckets[k] = kept
+		}
+	}
+	kept := t.wildcard[:0]
+	for _, e := range t.wildcard {
+		if e.Owner == owner {
+			n++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.wildcard = kept
+	t.count -= n
+	return n
+}
+
+// Apply performs one match-action lookup for the packet. It returns whether
+// an entry (or the default action) was executed.
+func (t *Table) Apply(p *PHV) bool {
+	keyVals := t.keyFunc(p)
+	t.mu.RLock()
+	e := t.lookupLocked(keyVals)
+	var fn ActionFunc
+	var params []uint32
+	switch {
+	case e != nil:
+		fn = t.actions[e.Action].fn
+		params = e.Params
+		atomic.AddUint64(&e.hits, 1)
+		t.hits++
+	case t.defaultAction != "":
+		fn = t.actions[t.defaultAction].fn
+		params = t.defaultParams
+		t.misses++
+	default:
+		t.misses++
+	}
+	t.mu.RUnlock()
+	if fn == nil {
+		return false
+	}
+	fn(p, params)
+	return true
+}
+
+func (t *Table) lookupLocked(keyVals []uint32) *Entry {
+	var best *Entry
+	if b, ok := t.buckets[keyVals[0]]; ok {
+		for _, e := range b {
+			if matchAll(e.Keys, keyVals) {
+				best = e
+				break // bucket sorted by priority
+			}
+		}
+	}
+	for _, e := range t.wildcard {
+		if best != nil && e.Priority <= best.Priority {
+			break // wildcard sorted by priority
+		}
+		if matchAll(e.Keys, keyVals) {
+			best = e
+			break
+		}
+	}
+	return best
+}
+
+func matchAll(keys []TernaryKey, vals []uint32) bool {
+	for i, k := range keys {
+		if !k.Matches(vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the entry that would match the given key values, without
+// executing its action. Used by tests and the consistency checker.
+func (t *Table) Lookup(keyVals []uint32) *Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(keyVals) != t.nkeys {
+		return nil
+	}
+	return t.lookupLocked(keyVals)
+}
+
+// Len returns the installed entry count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Capacity returns the entry capacity.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Free returns the remaining entry capacity.
+func (t *Table) Free() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.capacity - t.count
+}
+
+// Stats returns cumulative hit and miss counters.
+func (t *Table) Stats() (hits, misses uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.hits, t.misses
+}
+
+// OwnerHits sums the direct counters of every entry a program owns — the
+// control plane's per-program monitoring primitive.
+func (t *Table) OwnerHits(owner string) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total uint64
+	for _, b := range t.buckets {
+		for _, e := range b {
+			if e.Owner == owner {
+				total += e.Hits()
+			}
+		}
+	}
+	for _, e := range t.wildcard {
+		if e.Owner == owner {
+			total += e.Hits()
+		}
+	}
+	return total
+}
+
+// VLIWUsage sums the VLIW slots of all registered actions.
+func (t *Table) VLIWUsage() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, a := range t.actions {
+		n += a.vliwSlots
+	}
+	return n
+}
+
+// ActionCount returns the number of registered actions.
+func (t *Table) ActionCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.actions)
+}
+
+// Entries returns a snapshot of installed entries (for tests/inspection).
+func (t *Table) Entries() []*Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Entry, 0, t.count)
+	for _, b := range t.buckets {
+		out = append(out, b...)
+	}
+	out = append(out, t.wildcard...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,122 @@
+package smt
+
+import (
+	"fmt"
+	"math"
+)
+
+// The objectives evaluated in the paper's §6.2.4 / Appendix C. All operate
+// on the first and last chain variables: x_1 (how early the program starts,
+// larger pushes work toward egress RPBs) and x_L (how late it ends, smaller
+// avoids recirculation).
+
+// Weighted is f1(x) = Alpha*x_L - Beta*x_1, the prototype default with
+// Alpha=0.7, Beta=0.3.
+type Weighted struct {
+	Alpha, Beta float64
+}
+
+// Eval implements Objective.
+func (o Weighted) Eval(vals []int) float64 {
+	return o.Alpha*float64(vals[len(vals)-1]) - o.Beta*float64(vals[0])
+}
+
+// Bound implements Objective.
+func (o Weighted) Bound(vals []int, set []bool, minLast int) float64 {
+	last := len(vals) - 1
+	lo := o.Alpha * float64(minLast)
+	if set[last] {
+		lo = o.Alpha * float64(vals[last])
+	}
+	if set[0] {
+		return lo - o.Beta*float64(vals[0])
+	}
+	// x_1 unassigned (never happens during in-order search): no useful
+	// admissible bound without domain knowledge.
+	return math.Inf(-1)
+}
+
+func (o Weighted) String() string { return fmt.Sprintf("f1=%.1f*xL-%.1f*x1", o.Alpha, o.Beta) }
+
+// PureLast is f2(x) = x_L.
+type PureLast struct{}
+
+// Eval implements Objective.
+func (PureLast) Eval(vals []int) float64 { return float64(vals[len(vals)-1]) }
+
+// Bound implements Objective.
+func (PureLast) Bound(vals []int, set []bool, minLast int) float64 {
+	last := len(vals) - 1
+	if set[last] {
+		return float64(vals[last])
+	}
+	return float64(minLast)
+}
+
+func (PureLast) String() string { return "f2=xL" }
+
+// Ratio is f3(x) = x_L / x_1 — nonlinear, yielding the highest utilization
+// but the weakest pruning bound and therefore the slowest searches, matching
+// the paper's observation that f3 costs up to seconds.
+type Ratio struct{}
+
+// Eval implements Objective.
+func (Ratio) Eval(vals []int) float64 {
+	return float64(vals[len(vals)-1]) / float64(vals[0])
+}
+
+// Bound implements Objective.
+func (Ratio) Bound(vals []int, set []bool, minLast int) float64 {
+	last := len(vals) - 1
+	num := float64(minLast)
+	if set[last] {
+		num = float64(vals[last])
+	}
+	if set[0] {
+		return num / float64(vals[0])
+	}
+	// x_1 could optimistically grow as large as the numerator.
+	return 1.0
+}
+
+func (Ratio) String() string { return "f3=xL/x1" }
+
+// NegFirst maximizes x_1 (by minimizing its negation); used as the second
+// step of the hierarchical scheme.
+type NegFirst struct{}
+
+// Eval implements Objective.
+func (NegFirst) Eval(vals []int) float64 { return -float64(vals[0]) }
+
+// Bound implements Objective.
+func (NegFirst) Bound(vals []int, set []bool, minLast int) float64 {
+	if set[0] {
+		return -float64(vals[0])
+	}
+	return math.Inf(-1)
+}
+
+func (NegFirst) String() string { return "-x1" }
+
+// MinimizeHierarchical implements the paper's two-step scheme: first
+// minimize x_L, then, holding x_L at its optimum, maximize x_1.
+func MinimizeHierarchical(m *Model) (Solution, Stats, error) {
+	sol1, st1, err := m.Minimize(PureLast{})
+	if err != nil {
+		return Solution{}, st1, err
+	}
+	bestLast := sol1.Values[len(sol1.Values)-1]
+	last := Var(len(sol1.Values) - 1)
+	m.Add(Unary{V: last, Name: "fix-xL", OK: func(v int) bool { return v == bestLast }})
+	sol2, st2, err := m.Minimize(NegFirst{})
+	st := Stats{
+		Nodes:      st1.Nodes + st2.Nodes,
+		Backtracks: st1.Backtracks + st2.Backtracks,
+		Duration:   st1.Duration + st2.Duration,
+		Complete:   st1.Complete && st2.Complete,
+	}
+	if err != nil {
+		return Solution{}, st, err
+	}
+	return sol2, st, nil
+}

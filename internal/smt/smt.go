@@ -1,0 +1,219 @@
+// Package smt is a small integer constraint solver used by the P4runpro
+// compiler in place of the paper's Z3. It solves the allocation problem of
+// §4.3 exactly: a vector of integer variables under a strict-increase chain,
+// unary feasibility predicates (table-entry and memory availability per
+// logical RPB), membership constraints (forwarding primitives restricted to
+// ingress RPBs), and modular-equality links (sequential accesses to the same
+// virtual memory must land in the same physical RPB across recirculation
+// passes), minimizing a pluggable objective via branch-and-bound with
+// constraint propagation.
+//
+// The solver is deliberately general: models are built from Variables and
+// Constraints, and any Objective implementing an admissible bound can drive
+// the search. Linear objectives yield tight bounds and fast searches;
+// nonlinear ones (the paper's f3 = x_L/x_1) yield weaker bounds and visibly
+// slower searches, reproducing the delay ordering of Figure 12.
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrInfeasible reports that no assignment satisfies all constraints.
+var ErrInfeasible = errors.New("smt: infeasible")
+
+// Var identifies a model variable by index.
+type Var int
+
+// Model is a constraint satisfaction/optimization model.
+type Model struct {
+	names   []string
+	domains [][]int
+	cons    []Constraint
+	// nodeLimit bounds search effort; 0 means unlimited.
+	nodeLimit int64
+}
+
+// NewModel creates an empty model.
+func NewModel() *Model { return &Model{} }
+
+// SetNodeLimit bounds the number of search nodes (0 = unlimited). When the
+// limit is hit the best incumbent so far is returned, or ErrInfeasible if
+// none was found.
+func (m *Model) SetNodeLimit(n int64) { m.nodeLimit = n }
+
+// IntVar adds a variable with the inclusive domain [lo, hi].
+func (m *Model) IntVar(name string, lo, hi int) Var {
+	dom := make([]int, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		dom = append(dom, v)
+	}
+	m.names = append(m.names, name)
+	m.domains = append(m.domains, dom)
+	return Var(len(m.domains) - 1)
+}
+
+// Restrict filters a variable's domain with a predicate.
+func (m *Model) Restrict(v Var, ok func(int) bool) {
+	dom := m.domains[v]
+	kept := dom[:0]
+	for _, x := range dom {
+		if ok(x) {
+			kept = append(kept, x)
+		}
+	}
+	m.domains[v] = kept
+}
+
+// Domain returns a copy of a variable's current domain.
+func (m *Model) Domain(v Var) []int {
+	return append([]int(nil), m.domains[v]...)
+}
+
+// Add registers a constraint.
+func (m *Model) Add(c Constraint) { m.cons = append(m.cons, c) }
+
+// Constraint checks partial assignments. vals[i] is meaningful only when
+// set[i] is true. Feasible must be monotone: once it returns false for a
+// partial assignment, no extension can make it true.
+type Constraint interface {
+	Feasible(vals []int, set []bool) bool
+	fmt.Stringer
+}
+
+// UnaryConstraint is a constraint over exactly one variable. The solver
+// applies it once, as a domain restriction before search, instead of
+// re-evaluating it at every node (important when the predicate consults
+// live resource state behind a lock).
+type UnaryConstraint interface {
+	Constraint
+	Var() Var
+	Accepts(v int) bool
+}
+
+// IncrementalConstraint can check feasibility knowing only which variable
+// was just assigned — the solver assigns variables in index order, so most
+// constraints need O(1) work per node instead of a full scan.
+type IncrementalConstraint interface {
+	Constraint
+	FeasibleAt(i int, vals []int, set []bool) bool
+}
+
+// Objective scores complete assignments (lower is better) and provides an
+// admissible (optimistic) bound for partial ones.
+type Objective interface {
+	Eval(vals []int) float64
+	// Bound returns a lower bound on Eval over all completions of the
+	// partial assignment. minLast is the smallest value the final chain
+	// variable can still take given the assigned prefix.
+	Bound(vals []int, set []bool, minLast int) float64
+	fmt.Stringer
+}
+
+// Solution is an optimal (or best-found) assignment.
+type Solution struct {
+	Values    []int
+	Objective float64
+}
+
+// Stats describes the search effort.
+type Stats struct {
+	Nodes      int64
+	Backtracks int64
+	Duration   time.Duration
+	Complete   bool // false if the node limit truncated the search
+}
+
+// Minimize runs branch-and-bound over the model variables in index order
+// (the natural order for the allocation chain) and returns the minimizing
+// assignment. Before searching, unary constraints are folded into the
+// variable domains; during search, only the constraints touching the
+// just-assigned variable are re-checked, via their incremental fast path
+// when available.
+func (m *Model) Minimize(obj Objective) (Solution, Stats, error) {
+	start := time.Now()
+	n := len(m.domains)
+	vals := make([]int, n)
+	set := make([]bool, n)
+	best := Solution{Objective: math.Inf(1)}
+	var st Stats
+	st.Complete = true
+
+	// Pre-restriction: unary constraints become domain filters.
+	var search []Constraint
+	for _, c := range m.cons {
+		if u, ok := c.(UnaryConstraint); ok {
+			m.Restrict(u.Var(), u.Accepts)
+			continue
+		}
+		search = append(search, c)
+	}
+	for _, dom := range m.domains {
+		if len(dom) == 0 {
+			st.Duration = time.Since(start)
+			return Solution{}, st, ErrInfeasible
+		}
+	}
+
+	var dfs func(i int) bool // returns false to abort (node limit)
+	dfs = func(i int) bool {
+		if m.nodeLimit > 0 && st.Nodes > m.nodeLimit {
+			st.Complete = false
+			return false
+		}
+		if i == n {
+			v := obj.Eval(vals)
+			if v < best.Objective {
+				best = Solution{Values: append([]int(nil), vals...), Objective: v}
+			}
+			return true
+		}
+		for _, cand := range m.domains[i] {
+			st.Nodes++
+			vals[i], set[i] = cand, true
+			ok := true
+			for _, c := range search {
+				if ic, fast := c.(IncrementalConstraint); fast {
+					if !ic.FeasibleAt(i, vals, set) {
+						ok = false
+						break
+					}
+				} else if !c.Feasible(vals, set) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// Optimistic bound prune: the last variable can be
+				// no smaller than the current one plus the remaining
+				// chain length (valid because every model built by the
+				// compiler includes the strict-increase chain).
+				minLast := vals[i] + (n - 1 - i)
+				if i == n-1 {
+					minLast = vals[i]
+				}
+				if obj.Bound(vals, set, minLast) < best.Objective {
+					if !dfs(i + 1) {
+						set[i] = false
+						return false
+					}
+				} else {
+					st.Backtracks++
+				}
+			} else {
+				st.Backtracks++
+			}
+			set[i] = false
+		}
+		return true
+	}
+	dfs(0)
+	st.Duration = time.Since(start)
+	if math.IsInf(best.Objective, 1) {
+		return Solution{}, st, ErrInfeasible
+	}
+	return best, st, nil
+}

@@ -1,0 +1,176 @@
+package traffic
+
+import (
+	"sort"
+
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// Injector is anything that can process a packet (satisfied by
+// *rmt.Switch).
+type Injector interface {
+	Inject(*pkt.Packet, int) rmt.Result
+}
+
+// Action is a scheduled control-plane operation during replay (e.g. "deploy
+// the cache program at 5 s", as in every Figure 13 case study).
+type Action struct {
+	AtMs float64
+	Do   func()
+}
+
+// Series is a per-bucket rate series in Mbps.
+type Series struct {
+	BucketMs float64
+	Values   []float64
+}
+
+// Times returns the bucket midpoints in seconds, for table rendering.
+func (s Series) Times() []float64 {
+	out := make([]float64, len(s.Values))
+	for i := range out {
+		out[i] = (float64(i) + 0.5) * s.BucketMs / 1000
+	}
+	return out
+}
+
+// Mean returns the series mean over [fromMs, toMs).
+func (s Series) Mean(fromMs, toMs float64) float64 {
+	lo := int(fromMs / s.BucketMs)
+	hi := int(toMs / s.BucketMs)
+	if hi > len(s.Values) {
+		hi = len(s.Values)
+	}
+	if lo >= hi {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// Result accumulates replay outcomes at the paper's 50 ms sampling
+// granularity.
+type Result struct {
+	Forwarded Series // bytes leaving on any egress port
+	Reflected Series // bytes RETURNed to the sender
+	Dropped   Series
+	ToCPU     Series
+	PerPort   map[int]*Series // forwarded bytes per egress port
+
+	Verdicts map[rmt.Verdict]int
+	Packets  int
+}
+
+// Replay pushes the trace through the injector, firing scheduled actions at
+// their simulated times, and bucketing outcomes every bucketMs (50 in the
+// paper). Optional hooks fire once per completed bucket (with its index),
+// letting case studies sample control-plane state — e.g. draining reported
+// heavy hitters — at the measurement cadence.
+func Replay(tr *Trace, inj Injector, sched []Action, bucketMs float64, hooks ...func(bucket int)) *Result {
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtMs < sched[j].AtMs })
+	durationMs := 0.0
+	if n := len(tr.Events); n > 0 {
+		durationMs = tr.Events[n-1].AtMs
+	}
+	for _, a := range sched {
+		if a.AtMs > durationMs {
+			durationMs = a.AtMs
+		}
+	}
+	buckets := int(durationMs/bucketMs) + 1
+
+	res := &Result{
+		Forwarded: Series{BucketMs: bucketMs, Values: make([]float64, buckets)},
+		Reflected: Series{BucketMs: bucketMs, Values: make([]float64, buckets)},
+		Dropped:   Series{BucketMs: bucketMs, Values: make([]float64, buckets)},
+		ToCPU:     Series{BucketMs: bucketMs, Values: make([]float64, buckets)},
+		PerPort:   make(map[int]*Series),
+		Verdicts:  make(map[rmt.Verdict]int),
+	}
+	next := 0
+	curBucket := 0
+	for _, ev := range tr.Events {
+		for next < len(sched) && sched[next].AtMs <= ev.AtMs {
+			sched[next].Do()
+			next++
+		}
+		r := inj.Inject(ev.Pkt, ev.Port)
+		res.Verdicts[r.Verdict]++
+		res.Packets++
+		b := int(ev.AtMs / bucketMs)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		for curBucket < b {
+			for _, h := range hooks {
+				h(curBucket)
+			}
+			curBucket++
+		}
+		bytes := float64(ev.Pkt.WireLen)
+		switch r.Verdict {
+		case rmt.VerdictForwarded:
+			res.Forwarded.Values[b] += bytes
+			ps, ok := res.PerPort[r.OutPort]
+			if !ok {
+				ps = &Series{BucketMs: bucketMs, Values: make([]float64, buckets)}
+				res.PerPort[r.OutPort] = ps
+			}
+			ps.Values[b] += bytes
+		case rmt.VerdictReflected:
+			res.Reflected.Values[b] += bytes
+		case rmt.VerdictDropped, rmt.VerdictNoDecision, rmt.VerdictRecircOverflow:
+			res.Dropped.Values[b] += bytes
+		case rmt.VerdictToCPU:
+			res.ToCPU.Values[b] += bytes
+		}
+	}
+	for next < len(sched) {
+		sched[next].Do()
+		next++
+	}
+	for curBucket < buckets {
+		for _, h := range hooks {
+			h(curBucket)
+		}
+		curBucket++
+	}
+	// Convert byte buckets to Mbps.
+	for _, s := range []*Series{&res.Forwarded, &res.Reflected, &res.Dropped, &res.ToCPU} {
+		toMbps(s)
+	}
+	for _, s := range res.PerPort {
+		toMbps(s)
+	}
+	return res
+}
+
+func toMbps(s *Series) {
+	f := 8 / (s.BucketMs / 1000) / 1e6
+	for i := range s.Values {
+		s.Values[i] *= f
+	}
+}
+
+// F1 scores a reported flow set against ground truth.
+func F1(reported, truth map[pkt.FiveTuple]bool) float64 {
+	if len(reported) == 0 || len(truth) == 0 {
+		return 0
+	}
+	tp := 0
+	for f := range reported {
+		if truth[f] {
+			tp++
+		}
+	}
+	precision := float64(tp) / float64(len(reported))
+	recall := float64(tp) / float64(len(truth))
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a typed client for the control protocol.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	rd     *bufio.Reader
+	nextID int64
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, rd: bufio.NewReaderSize(conn, 1<<20)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one RPC round trip.
+func (c *Client) call(method string, params, result any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return err
+		}
+		req.Params = raw
+	}
+	line, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := c.conn.Write(line); err != nil {
+		return err
+	}
+	respLine, err := c.rd.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var resp Response
+	if err := json.Unmarshal(respLine, &resp); err != nil {
+		return err
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("wire: %s", resp.Error)
+	}
+	if result != nil {
+		return json.Unmarshal(resp.Result, result)
+	}
+	return nil
+}
+
+// Deploy links P4runpro source on the remote switch.
+func (c *Client) Deploy(source string) ([]DeployResult, error) {
+	var out []DeployResult
+	err := c.call(MethodDeploy, DeployParams{Source: source}, &out)
+	return out, err
+}
+
+// Revoke unlinks a remote program.
+func (c *Client) Revoke(name string) (RevokeResult, error) {
+	var out RevokeResult
+	err := c.call(MethodRevoke, RevokeParams{Name: name}, &out)
+	return out, err
+}
+
+// Programs lists remote programs.
+func (c *Client) Programs() ([]ProgramInfo, error) {
+	var out []ProgramInfo
+	err := c.call(MethodPrograms, nil, &out)
+	return out, err
+}
+
+// ReadMemory reads a remote virtual memory range.
+func (c *Client) ReadMemory(program, mem string, addr, count uint32) ([]uint32, error) {
+	var out []uint32
+	err := c.call(MethodMemRead, MemReadParams{Program: program, Mem: mem, Addr: addr, Count: count}, &out)
+	return out, err
+}
+
+// WriteMemory writes one remote bucket.
+func (c *Client) WriteMemory(program, mem string, addr, value uint32) error {
+	return c.call(MethodMemWrite, MemWriteParams{Program: program, Mem: mem, Addr: addr, Value: value}, nil)
+}
+
+// Utilization fetches per-RPB usage.
+func (c *Client) Utilization() ([]UtilizationRow, error) {
+	var out []UtilizationRow
+	err := c.call(MethodUtilization, nil, &out)
+	return out, err
+}
+
+// Inject sends one frame through the remote switch.
+func (c *Client) Inject(frame []byte, port int) (InjectResult, error) {
+	var out InjectResult
+	err := c.call(MethodInject, InjectParams{FrameHex: hex.EncodeToString(frame), Port: port}, &out)
+	return out, err
+}
+
+// Status fetches the controller status line.
+func (c *Client) Status() (string, error) {
+	var out string
+	err := c.call(MethodStatus, nil, &out)
+	return out, err
+}
+
+// AddCases extends a running remote program's BRANCH with new case blocks.
+func (c *Client) AddCases(program string, branchDepth int, source string) (AddCasesResult, error) {
+	var out AddCasesResult
+	err := c.call(MethodAddCases, AddCasesParams{Program: program, BranchDepth: branchDepth, Source: source}, &out)
+	return out, err
+}
+
+// RemoveCase removes a runtime-added case from a remote program.
+func (c *Client) RemoveCase(program string, branchID int) error {
+	return c.call(MethodRemoveCase, RemoveCaseParams{Program: program, BranchID: branchID}, nil)
+}
+
+// SetMulticastGroup configures a remote multicast replication group.
+func (c *Client) SetMulticastGroup(group int, ports []int) error {
+	return c.call(MethodMcastSet, McastSetParams{Group: group, Ports: ports}, nil)
+}

@@ -1,0 +1,145 @@
+// Package wire implements P4runpro's control channel as a newline-delimited
+// JSON-RPC protocol over TCP — the stand-in for the prototype's bfrt_grpc
+// session between the runtime CLI and the switch (paper §5). A daemon
+// (cmd/p4rpd) wraps a Controller and serves the program lifecycle, memory
+// access, monitoring, and (for experimentation) packet injection; the
+// client (cmd/p4rpctl and the examples) provides typed calls.
+package wire
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Request is one RPC call. Params' shape depends on Method.
+type Request struct {
+	ID     int64           `json:"id"`
+	Method string          `json:"method"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Response answers one Request. Exactly one of Error/Result is meaningful.
+type Response struct {
+	ID     int64           `json:"id"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Method names.
+const (
+	MethodDeploy      = "deploy"
+	MethodRevoke      = "revoke"
+	MethodPrograms    = "programs"
+	MethodMemRead     = "mem.read"
+	MethodMemWrite    = "mem.write"
+	MethodUtilization = "utilization"
+	MethodInject      = "inject"
+	MethodStatus      = "status"
+	MethodAddCases    = "case.add"
+	MethodRemoveCase  = "case.remove"
+	MethodMcastSet    = "mcast.set"
+)
+
+// AddCasesParams extends a running program's BRANCH (incremental update).
+type AddCasesParams struct {
+	Program     string `json:"program"`
+	BranchDepth int    `json:"branch_depth"`
+	Source      string `json:"source"`
+}
+
+// AddCasesResult reports the runtime-assigned branch IDs.
+type AddCasesResult struct {
+	BranchIDs   []int         `json:"branch_ids"`
+	Entries     int           `json:"entries"`
+	UpdateDelay time.Duration `json:"update_delay"`
+}
+
+// RemoveCaseParams removes a runtime-added case.
+type RemoveCaseParams struct {
+	Program  string `json:"program"`
+	BranchID int    `json:"branch_id"`
+}
+
+// McastSetParams configures a multicast group.
+type McastSetParams struct {
+	Group int   `json:"group"`
+	Ports []int `json:"ports"`
+}
+
+// DeployParams carries P4runpro source text.
+type DeployParams struct {
+	Source string `json:"source"`
+}
+
+// DeployResult reports one linked program.
+type DeployResult struct {
+	Program     string        `json:"program"`
+	ProgramID   uint16        `json:"program_id"`
+	Entries     int           `json:"entries"`
+	AllocTime   time.Duration `json:"alloc_time"`
+	UpdateDelay time.Duration `json:"update_delay"`
+	Total       time.Duration `json:"total"`
+}
+
+// RevokeParams names a program.
+type RevokeParams struct {
+	Name string `json:"name"`
+}
+
+// RevokeResult reports a termination.
+type RevokeResult struct {
+	Entries     int           `json:"entries"`
+	MemReset    uint32        `json:"mem_reset"`
+	UpdateDelay time.Duration `json:"update_delay"`
+}
+
+// ProgramInfo mirrors controlplane.ProgramInfo for listings.
+type ProgramInfo struct {
+	Name      string `json:"name"`
+	ProgramID uint16 `json:"program_id"`
+	Depths    int    `json:"depths"`
+	Entries   int    `json:"entries"`
+	MemWords  uint32 `json:"mem_words"`
+	Passes    int    `json:"passes"`
+	Hits      uint64 `json:"hits"`
+}
+
+// MemReadParams addresses a virtual memory range.
+type MemReadParams struct {
+	Program string `json:"program"`
+	Mem     string `json:"mem"`
+	Addr    uint32 `json:"addr"`
+	Count   uint32 `json:"count"`
+}
+
+// MemWriteParams writes one bucket.
+type MemWriteParams struct {
+	Program string `json:"program"`
+	Mem     string `json:"mem"`
+	Addr    uint32 `json:"addr"`
+	Value   uint32 `json:"value"`
+}
+
+// UtilizationRow is one RPB's dynamic usage.
+type UtilizationRow struct {
+	RPB         int     `json:"rpb"`
+	EntriesUsed int     `json:"entries_used"`
+	EntriesCap  int     `json:"entries_cap"`
+	MemUsed     uint32  `json:"mem_used"`
+	MemCap      uint32  `json:"mem_cap"`
+	MemFrac     float64 `json:"mem_frac"`
+}
+
+// InjectParams carries one wire frame (hex-encoded) for test injection.
+type InjectParams struct {
+	FrameHex string `json:"frame_hex"`
+	Port     int    `json:"port"`
+}
+
+// InjectResult summarizes the packet's fate.
+type InjectResult struct {
+	Verdict  string `json:"verdict"`
+	OutPort  int    `json:"out_port"`
+	Passes   int    `json:"passes"`
+	FrameHex string `json:"frame_hex"` // the (possibly rewritten) packet
+}

@@ -1,0 +1,259 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/pkt"
+)
+
+// Server serves the control protocol over TCP for one Controller.
+type Server struct {
+	ct  *controlplane.Controller
+	ln  net.Listener
+	log *log.Logger
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer wraps a controller. logger may be nil for silence.
+func NewServer(ct *controlplane.Controller, logger *log.Logger) *Server {
+	return &Server{ct: ct, log: logger, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+}
+
+// Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
+// accepting connections in the background.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and all connections. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("wire: accept: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = "malformed request: " + err.Error()
+		} else {
+			resp.ID = req.ID
+			result, err := s.dispatch(req)
+			if err != nil {
+				resp.Error = err.Error()
+			} else {
+				raw, err := json.Marshal(result)
+				if err != nil {
+					resp.Error = "marshal result: " + err.Error()
+				} else {
+					resp.Result = raw
+				}
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			s.logf("wire: write response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) (any, error) {
+	switch req.Method {
+	case MethodDeploy:
+		var p DeployParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		reports, err := s.ct.Deploy(p.Source)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]DeployResult, 0, len(reports))
+		for _, r := range reports {
+			out = append(out, DeployResult{
+				Program: r.Program, ProgramID: r.ProgramID, Entries: r.Entries,
+				AllocTime: r.AllocTime, UpdateDelay: r.UpdateDelay, Total: r.Total,
+			})
+		}
+		return out, nil
+
+	case MethodRevoke:
+		var p RevokeParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		r, err := s.ct.Revoke(p.Name)
+		if err != nil {
+			return nil, err
+		}
+		return RevokeResult{Entries: r.Entries, MemReset: r.MemReset, UpdateDelay: r.UpdateDelay}, nil
+
+	case MethodPrograms:
+		infos := s.ct.Programs()
+		out := make([]ProgramInfo, 0, len(infos))
+		for _, i := range infos {
+			out = append(out, ProgramInfo{
+				Name: i.Name, ProgramID: i.ProgramID, Depths: i.Depths,
+				Entries: i.Entries, MemWords: i.MemWords, Passes: i.Passes,
+				Hits: i.Hits,
+			})
+		}
+		return out, nil
+
+	case MethodMemRead:
+		var p MemReadParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		if p.Count == 0 {
+			p.Count = 1
+		}
+		return s.ct.ReadMemoryRange(p.Program, p.Mem, p.Addr, p.Count)
+
+	case MethodMemWrite:
+		var p MemWriteParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return true, s.ct.WriteMemory(p.Program, p.Mem, p.Addr, p.Value)
+
+	case MethodUtilization:
+		var out []UtilizationRow
+		for _, u := range s.ct.Utilization() {
+			out = append(out, UtilizationRow{
+				RPB: int(u.RPB), EntriesUsed: u.EntriesUsed, EntriesCap: u.EntriesCap,
+				MemUsed: u.MemUsed, MemCap: u.MemCap,
+				MemFrac: float64(u.MemUsed) / float64(u.MemCap),
+			})
+		}
+		return out, nil
+
+	case MethodInject:
+		var p InjectParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		frame, err := hex.DecodeString(p.FrameHex)
+		if err != nil {
+			return nil, fmt.Errorf("bad frame hex: %w", err)
+		}
+		res, err := s.ct.SW.InjectBytes(frame, p.Port)
+		if err != nil {
+			return nil, err
+		}
+		out := InjectResult{Verdict: res.Verdict.String(), OutPort: res.OutPort, Passes: res.Passes}
+		if res.Packet != nil {
+			out.FrameHex = hex.EncodeToString(res.Packet.Marshal())
+		}
+		return out, nil
+
+	case MethodStatus:
+		return s.ct.String(), nil
+
+	case MethodAddCases:
+		var p AddCasesParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		added, delay, err := s.ct.AddCases(p.Program, p.BranchDepth, p.Source)
+		if err != nil {
+			return nil, err
+		}
+		out := AddCasesResult{UpdateDelay: delay}
+		for _, a := range added {
+			out.BranchIDs = append(out.BranchIDs, a.BranchID)
+			out.Entries += a.Entries
+		}
+		return out, nil
+
+	case MethodRemoveCase:
+		var p RemoveCaseParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		return true, s.ct.RemoveCase(p.Program, p.BranchID)
+
+	case MethodMcastSet:
+		var p McastSetParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		s.ct.SetMulticastGroup(p.Group, p.Ports)
+		return true, nil
+	}
+	return nil, fmt.Errorf("unknown method %q", req.Method)
+}
+
+// injectable ensures pkt stays linked for the hex path.
+var _ = pkt.MinFrame

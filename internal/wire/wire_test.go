@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+const testProgram = `
+@ m 256
+program counter(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(m);
+    MEMADD(m);
+}
+`
+
+func startServer(t *testing.T) (*Server, *Client, *controlplane.Controller) {
+	t.Helper()
+	ct, err := controlplane.New(rmt.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ct, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c, ct
+}
+
+func TestDeployRevokeOverWire(t *testing.T) {
+	_, c, _ := startServer(t)
+	results, err := c.Deploy(testProgram)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if len(results) != 1 || results[0].Program != "counter" || results[0].Entries == 0 {
+		t.Fatalf("results = %+v", results)
+	}
+	progs, err := c.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || progs[0].Name != "counter" {
+		t.Fatalf("programs = %+v", progs)
+	}
+	rev, err := c.Revoke("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Entries != results[0].Entries || rev.MemReset != 256 {
+		t.Errorf("revoke = %+v", rev)
+	}
+	if _, err := c.Revoke("counter"); err == nil {
+		t.Error("double revoke accepted over wire")
+	}
+}
+
+func TestDeployErrorPropagates(t *testing.T) {
+	_, c, _ := startServer(t)
+	_, err := c.Deploy("program broken(")
+	if err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection stays usable after an error.
+	if _, err := c.Programs(); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestInjectAndMemoryOverWire(t *testing.T) {
+	_, c, _ := startServer(t)
+	if _, err := c.Deploy(testProgram); err != nil {
+		t.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 1, 2, 3), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+	frame := pkt.NewUDP(flow, 100).Marshal()
+	for i := 0; i < 3; i++ {
+		res, err := c.Inject(frame, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != "no-decision" { // counter program sets no verdict
+			t.Errorf("verdict = %s", res.Verdict)
+		}
+	}
+	vals, err := c.ReadMemory("counter", "m", 0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint32
+	for _, v := range vals {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("counted %d, want 3", total)
+	}
+	if err := c.WriteMemory("counter", "m", 5, 42); err != nil {
+		t.Fatal(err)
+	}
+	one, err := c.ReadMemory("counter", "m", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != 42 {
+		t.Errorf("readback = %v", one)
+	}
+	if _, err := c.ReadMemory("counter", "m", 300, 1); err == nil {
+		t.Error("out-of-range read accepted over wire")
+	}
+	if _, err := c.Inject([]byte{1, 2, 3}, 0); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestUtilizationAndStatus(t *testing.T) {
+	_, c, _ := startServer(t)
+	if _, err := c.Deploy(testProgram); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Utilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var memUsed uint32
+	for _, r := range rows {
+		memUsed += r.MemUsed
+	}
+	if memUsed != 256 {
+		t.Errorf("memory used = %d", memUsed)
+	}
+	status, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "1 programs") {
+		t.Errorf("status = %q", status)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _, _ := startServer(t)
+	addr := srv.ln.Addr().String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Status(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedRequestLine(t *testing.T) {
+	srv, _, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(conn)
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("malformed request got no error")
+	}
+	// Unknown method.
+	if _, err := conn.Write([]byte(`{"id":1,"method":"nope"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "unknown method") {
+		t.Errorf("error = %q", resp.Error)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	srv, c, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(); err == nil {
+		t.Error("call succeeded after server close")
+	}
+}
+
+const cacheWireSrc = `
+@ mem1 1024
+program cache(<hdr.udp.dst_port, 7777, 0xffff>) {
+    EXTRACT(hdr.nc.op, har);
+    EXTRACT(hdr.nc.key1, sar);
+    EXTRACT(hdr.nc.key2, mar);
+    BRANCH:
+    case(<har, 1, 0xffffffff>, <sar, 0x8888, 0xffffffff>, <mar, 0, 0xffffffff>) {
+        RETURN;
+        LOADI(mar, 512);
+        MEMREAD(mem1);
+        MODIFY(hdr.nc.value, sar);
+    };
+    FORWARD(32);
+}
+`
+
+func TestIncrementalUpdateOverWire(t *testing.T) {
+	_, c, _ := startServer(t)
+	if _, err := c.Deploy(cacheWireSrc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AddCases("cache", 4, `
+case(<har, 1, 0xffffffff>, <sar, 0x9999, 0xffffffff>, <mar, 0, 0xffffffff>) {
+    RETURN;
+    LOADI(mar, 600);
+    MEMREAD(mem1);
+    MODIFY(hdr.nc.value, sar);
+};`)
+	if err != nil {
+		t.Fatalf("AddCases: %v", err)
+	}
+	if len(res.BranchIDs) != 1 || res.Entries == 0 || res.UpdateDelay <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if err := c.RemoveCase("cache", res.BranchIDs[0]); err != nil {
+		t.Fatalf("RemoveCase: %v", err)
+	}
+	if err := c.RemoveCase("cache", res.BranchIDs[0]); err == nil {
+		t.Error("double remove accepted over wire")
+	}
+}
+
+func TestMulticastOverWire(t *testing.T) {
+	_, c, ct := startServer(t)
+	if err := c.SetMulticastGroup(5, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.SW.MulticastGroup(5); len(got) != 3 {
+		t.Errorf("group = %v", got)
+	}
+	if err := c.SetMulticastGroup(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.SW.MulticastGroup(5); len(got) != 0 {
+		t.Errorf("group not cleared: %v", got)
+	}
+}
