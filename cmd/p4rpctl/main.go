@@ -11,6 +11,7 @@
 //	p4rpctl [-addr host:9800] util
 //	p4rpctl [-addr host:9800] memread <program> <mem> <addr> [count]
 //	p4rpctl [-addr host:9800] memwrite <program> <mem> <addr> <value>
+//	p4rpctl [-addr host:9800] metrics [json]
 package main
 
 import (
@@ -122,6 +123,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case "metrics":
+		format := ""
+		if len(args) > 1 {
+			format = args[1]
+		}
+		body, err := c.Metrics(format)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(body)
 	case "mcast":
 		need(args, 3)
 		ports := make([]int, 0, len(args)-2)
@@ -163,7 +174,8 @@ commands:
   memwrite <prog> <mem> <addr> <value>     write program memory
   addcase <prog> <branch-depth> <file>     add case blocks to a running program
   removecase <prog> <branch-id>            remove a runtime-added case
-  mcast <group> <port>...                  configure a multicast group`)
+  mcast <group> <port>...                  configure a multicast group
+  metrics [json]                           scrape the daemon's metrics registry`)
 	os.Exit(2)
 }
 

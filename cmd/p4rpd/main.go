@@ -37,6 +37,7 @@ func main() {
 		log.Fatalf("p4rpd: listen: %v", err)
 	}
 	fmt.Printf("p4rpd: switch provisioned (%d RPBs), control plane on %s\n", ct.Plane.M, addr)
+	fmt.Println("p4rpd: metrics served via `p4rpctl metrics` (Prometheus text or json)")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

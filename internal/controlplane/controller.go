@@ -13,6 +13,7 @@ import (
 	"p4runpro/internal/core"
 	"p4runpro/internal/costmodel"
 	"p4runpro/internal/dataplane"
+	"p4runpro/internal/obs"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/smt"
@@ -23,18 +24,33 @@ type Controller struct {
 	SW       *rmt.Switch
 	Plane    *dataplane.Plane
 	Compiler *core.Compiler
+
+	// Obs is the controller's metrics registry: operation latencies and
+	// outcomes recorded here, compiler/solver histograms wired through
+	// SetObserver, and scrape-time collectors over the switch's packet-path
+	// counters and per-RPB occupancy. Served remotely by the wire
+	// protocol's "metrics" verb; see docs/ARCHITECTURE.md for every
+	// exported name.
+	Obs *obs.Registry
+
+	mDeployNs, mRevokeNs, mMemOpNs             *obs.Histogram
+	cDeployOK, cDeployErr                      *obs.Counter
+	cRevokeOK, cRevokeErr, cMemOpOK, cMemOpErr *obs.Counter
+	cEntries                                   *obs.Counter
 }
 
 // New creates a switch with cfg, provisions the P4runpro data plane once
 // (the only reprovisioning the workflow ever needs), and attaches the
-// runtime compiler.
+// runtime compiler and the metrics registry.
 func New(cfg rmt.Config, opt core.Options) (*Controller, error) {
 	sw := rmt.New(cfg)
 	pl, err := dataplane.Provision(sw)
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt)}, nil
+	ct := &Controller{SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt)}
+	ct.initMetrics()
+	return ct, nil
 }
 
 // DeployReport quantifies one program deployment (§6.2.1): parsing and
@@ -49,14 +65,19 @@ type DeployReport struct {
 	Entries     int
 	UpdateDelay time.Duration
 	Total       time.Duration
+	// Trace is the compiler's span tree for this link (parse, translate,
+	// allocate, install), attributing the measured host-side delay.
+	Trace *obs.Span
 }
 
 // Deploy links every program in src and returns one report per program.
 func (ct *Controller) Deploy(src string) ([]DeployReport, error) {
+	start := time.Now()
 	lps, err := ct.Compiler.Link(src)
 	reports := make([]DeployReport, 0, len(lps))
 	for _, lp := range lps {
 		upd := costmodel.LinkUpdateDelay(lp.Stats.EntryCount)
+		ct.cEntries.Add(uint64(lp.Stats.EntryCount))
 		reports = append(reports, DeployReport{
 			Program:     lp.Name,
 			ProgramID:   lp.ProgramID,
@@ -66,8 +87,10 @@ func (ct *Controller) Deploy(src string) ([]DeployReport, error) {
 			Entries:     lp.Stats.EntryCount,
 			UpdateDelay: upd,
 			Total:       lp.Stats.ParseTime + lp.Stats.AllocTime + upd,
+			Trace:       lp.Stats.Trace,
 		})
 	}
+	observeOp(ct.mDeployNs, ct.cDeployOK, ct.cDeployErr, start, err)
 	return reports, err
 }
 
@@ -81,7 +104,9 @@ type RevokeReport struct {
 
 // Revoke unlinks a program with consistent deletion ordering.
 func (ct *Controller) Revoke(name string) (RevokeReport, error) {
+	start := time.Now()
 	st, err := ct.Compiler.Revoke(name)
+	observeOp(ct.mRevokeNs, ct.cRevokeOK, ct.cRevokeErr, start, err)
 	if err != nil {
 		return RevokeReport{}, err
 	}
@@ -118,7 +143,9 @@ func (ct *Controller) SetMulticastGroup(group int, ports []int) {
 
 // WriteMemory writes one virtual memory bucket of a linked program,
 // translating the virtual address to its physical RPB and offset.
-func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) error {
+func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) (err error) {
+	start := time.Now()
+	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err) }()
 	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, vaddr)
 	if err != nil {
 		return err
@@ -131,7 +158,9 @@ func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) erro
 }
 
 // ReadMemory reads one virtual memory bucket of a linked program.
-func (ct *Controller) ReadMemory(program, mem string, vaddr uint32) (uint32, error) {
+func (ct *Controller) ReadMemory(program, mem string, vaddr uint32) (v uint32, err error) {
+	start := time.Now()
+	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err) }()
 	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, vaddr)
 	if err != nil {
 		return 0, err
@@ -145,7 +174,9 @@ func (ct *Controller) ReadMemory(program, mem string, vaddr uint32) (uint32, err
 
 // ReadMemoryRange snapshots [start, start+n) of a program's virtual memory,
 // the resource manager's monitoring path.
-func (ct *Controller) ReadMemoryRange(program, mem string, start, n uint32) ([]uint32, error) {
+func (ct *Controller) ReadMemoryRange(program, mem string, start, n uint32) (vals []uint32, err error) {
+	t0 := time.Now()
+	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, t0, err) }()
 	out := make([]uint32, 0, n)
 	if n == 0 {
 		return out, nil

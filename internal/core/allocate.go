@@ -73,6 +73,9 @@ func (c *Compiler) buildModel(tp *lang.TProgram, excluded []exclusion) *smt.Mode
 	if c.Opt.NodeLimit > 0 {
 		model.SetNodeLimit(c.Opt.NodeLimit)
 	}
+	if c.met != nil {
+		model.SetMetrics(c.met.solver)
+	}
 	L := tp.L()
 	vars := make([]smt.Var, L)
 	for i := 0; i < L; i++ {
@@ -186,6 +189,8 @@ func (c *Compiler) Allocate(tp *lang.TProgram) (*AllocResult, error) {
 		}
 		agg.Nodes += st.Nodes
 		agg.Backtracks += st.Backtracks
+		agg.Propagations += st.Propagations
+		agg.BoundPrunes += st.BoundPrunes
 		agg.Complete = st.Complete
 		if err != nil {
 			if errors.Is(err, smt.ErrInfeasible) {

@@ -8,6 +8,7 @@ import (
 
 	"p4runpro/internal/dataplane"
 	"p4runpro/internal/lang"
+	"p4runpro/internal/obs"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/smt"
 )
@@ -24,8 +25,49 @@ type Compiler struct {
 	// pass runs on this compiler's own switch via recirculation.
 	passTargets []PassTarget
 
+	// met holds the observability sinks installed by SetObserver (nil
+	// until then: an unobserved compiler records nothing).
+	met *compilerMetrics
+
 	mu     sync.Mutex
 	linked map[string]*LinkedProgram
+}
+
+// compilerMetrics routes per-phase link timings and solver search effort
+// into a metrics registry.
+type compilerMetrics struct {
+	phase  map[string]*obs.Histogram
+	solver *smt.Metrics
+}
+
+// Compiler phases recorded by the p4runpro_compiler_phase_ns histogram.
+const (
+	PhaseParse     = "parse"
+	PhaseTranslate = "translate"
+	PhaseAllocate  = "allocate"
+	PhaseInstall   = "install"
+	PhaseLink      = "link"
+)
+
+// SetObserver wires the compiler into a metrics registry: every Link call
+// records its parse/translate/allocate/install phase durations into
+// p4runpro_compiler_phase_ns{phase=...}, and every solver search records
+// its effort into the p4runpro_solver_* histograms. Call once, before
+// concurrent use.
+func (c *Compiler) SetObserver(reg *obs.Registry) {
+	m := &compilerMetrics{phase: make(map[string]*obs.Histogram), solver: smt.NewMetrics(reg)}
+	for _, ph := range []string{PhaseParse, PhaseTranslate, PhaseAllocate, PhaseInstall, PhaseLink} {
+		m.phase[ph] = reg.Histogram("p4runpro_compiler_phase_ns",
+			"Compiler phase durations per Link call, in nanoseconds.", obs.L("phase", ph))
+	}
+	c.met = m
+}
+
+// observePhase records one phase duration when an observer is attached.
+func (c *Compiler) observePhase(phase string, d time.Duration) {
+	if c.met != nil {
+		c.met.phase[phase].ObserveDuration(d)
+	}
 }
 
 // PassTarget binds one recirculation pass to a concrete switch.
@@ -83,6 +125,10 @@ type LinkStats struct {
 	Solver     smt.Stats
 	EntryCount int
 	MemWords   uint32
+	// Trace is the span tree of this link operation (parse, translate,
+	// allocate, install under a "link" root), for per-deployment timing
+	// attribution beyond the aggregate histograms.
+	Trace *obs.Span
 }
 
 // LinkedProgram is a program currently resident on the data plane.
@@ -140,6 +186,7 @@ func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
 		return nil, err
 	}
 	parseTime := time.Since(t0)
+	c.observePhase(PhaseParse, parseTime)
 
 	var out []*LinkedProgram
 	for _, prog := range file.Programs {
@@ -165,11 +212,23 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 	}
 	c.mu.Unlock()
 
+	span := obs.StartSpan(PhaseLink)
+	if parseTime > 0 {
+		// Parsing happened in Link before per-program work; attribute the
+		// shared measurement to this program's trace.
+		span.Children = append(span.Children, &obs.Span{Name: PhaseParse, Dur: parseTime})
+	}
+	spTranslate := span.StartChild(PhaseTranslate)
 	tp, err := lang.Translate(prog, mems)
+	spTranslate.End()
+	c.observePhase(PhaseTranslate, spTranslate.Dur)
 	if err != nil {
 		return nil, err
 	}
+	spAllocate := span.StartChild(PhaseAllocate)
 	alloc, err := c.Allocate(tp)
+	spAllocate.End()
+	c.observePhase(PhaseAllocate, spAllocate.Dur)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +339,7 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 
 	// Consistent update (Figure 6): program components first, the
 	// initialization block last, each entry installed atomically.
+	spInstall := span.StartChild(PhaseInstall)
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].kind < plan[j].kind })
 	for _, pe := range plan {
 		id, err := pe.table.Insert(pe.keys, pe.priority, pe.action, pe.params, prog.Name)
@@ -291,6 +351,12 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 		lp.entries = append(lp.entries, installedEntry{kind: pe.kind, table: pe.table, id: id})
 	}
 	lp.Stats.EntryCount = len(lp.entries)
+	spInstall.End()
+	c.observePhase(PhaseInstall, spInstall.Dur)
+	span.End()
+	span.Dur += parseTime // the root covers parse through install
+	c.observePhase(PhaseLink, span.Dur)
+	lp.Stats.Trace = span
 
 	c.mu.Lock()
 	c.linked[prog.Name] = lp

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Set/Value = %v", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("after balanced Adds = %v, want 3.5", got)
+	}
+}
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every bucket boundary maps back within its own bucket's range, and
+	// indexes are monotone non-decreasing in the value.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64} {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex(%d) = %d < previous %d (not monotone)", v, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+		mid := histValue(idx)
+		if v < histSubCount && mid != v {
+			t.Fatalf("small value %d not exact: got %d", v, mid)
+		}
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	cases := []struct {
+		name   string
+		values func() []uint64
+	}{
+		{"uniform-1k", func() []uint64 {
+			out := make([]uint64, 0, 1000)
+			for i := 1; i <= 1000; i++ {
+				out = append(out, uint64(i))
+			}
+			return out
+		}},
+		{"exponential", func() []uint64 {
+			out := make([]uint64, 0, 2000)
+			for i := 0; i < 2000; i++ {
+				out = append(out, uint64(math.Exp(float64(i)/150)))
+			}
+			return out
+		}},
+		{"latency-like-ns", func() []uint64 {
+			out := make([]uint64, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				// 1–2 µs body with a 100 µs tail every 100th sample.
+				v := uint64(1000 + i%1000)
+				if i%100 == 0 {
+					v = 100000
+				}
+				out = append(out, v)
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			vals := tc.values()
+			for _, v := range vals {
+				h.Observe(v)
+			}
+			if h.Count() != uint64(len(vals)) {
+				t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
+			}
+			// Compare against the exact quantile of the sorted input.
+			sorted := append([]uint64(nil), vals...)
+			for i := 1; i < len(sorted); i++ {
+				for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+					sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+				}
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+				exact := float64(sorted[rank])
+				got := float64(h.Quantile(q))
+				relErr := math.Abs(got-exact) / math.Max(exact, 1)
+				// Bucket layout bounds relative error by 1/histHalf plus
+				// half-bucket midpoint rounding; allow 5%.
+				if relErr > 0.05 {
+					t.Errorf("q=%v: got %v, exact %v (rel err %.3f)", q, got, exact, relErr)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := uint64(workers*per) * uint64(workers*per-1) / 2
+	if h.Sum() != wantSum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("x_total", "help", L("k", "v"))
+	if a == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type re-registration must panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p4runpro_deploys_total", "Programs deployed.", L("outcome", "ok")).Add(3)
+	r.Counter("p4runpro_deploys_total", "Programs deployed.", L("outcome", "error")).Inc()
+	r.Gauge("p4runpro_programs_linked", "Programs currently linked.").Set(2)
+	r.GaugeFunc("p4runpro_rpb_entries_used", "Entries used per RPB.",
+		func() float64 { return 40 }, L("rpb", "1"))
+	h := r.Histogram("p4runpro_deploy_duration_ns", "Deploy latency.")
+	for i := 0; i < 100; i++ {
+		h.Observe(10) // exact low bucket: quantiles deterministic
+	}
+
+	want := strings.TrimLeft(`
+# HELP p4runpro_deploy_duration_ns Deploy latency.
+# TYPE p4runpro_deploy_duration_ns summary
+p4runpro_deploy_duration_ns{quantile="0.5"} 10
+p4runpro_deploy_duration_ns{quantile="0.95"} 10
+p4runpro_deploy_duration_ns{quantile="0.99"} 10
+p4runpro_deploy_duration_ns_sum 1000
+p4runpro_deploy_duration_ns_count 100
+# HELP p4runpro_deploys_total Programs deployed.
+# TYPE p4runpro_deploys_total counter
+p4runpro_deploys_total{outcome="error"} 1
+p4runpro_deploys_total{outcome="ok"} 3
+# HELP p4runpro_programs_linked Programs currently linked.
+# TYPE p4runpro_programs_linked gauge
+p4runpro_programs_linked 2
+# HELP p4runpro_rpb_entries_used Entries used per RPB.
+# TYPE p4runpro_rpb_entries_used gauge
+p4runpro_rpb_entries_used{rpb="1"} 40
+`, "\n")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(7)
+	r.Histogram("b_ns", "b").Observe(42)
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []MetricJSON
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("series = %d, want 2", len(got))
+	}
+	if got[0].Name != "a_total" || got[0].Value != 7 {
+		t.Fatalf("counter row = %+v", got[0])
+	}
+	if got[1].Name != "b_ns" || got[1].Count != 1 || got[1].P50 != 42 {
+		t.Fatalf("summary row = %+v", got[1])
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("link")
+	child := root.StartChild("parse")
+	time.Sleep(time.Millisecond)
+	child.End()
+	grand := root.StartChild("allocate")
+	inner := grand.StartChild("solve")
+	inner.End()
+	grand.End()
+	root.End()
+
+	if root.Dur <= 0 || child.Dur <= 0 {
+		t.Fatalf("durations not recorded: root=%v child=%v", root.Dur, child.Dur)
+	}
+	if root.Dur < child.Dur {
+		t.Fatalf("parent %v shorter than child %v", root.Dur, child.Dur)
+	}
+	var names []string
+	depths := map[string]int{}
+	root.Walk(func(d int, sp *Span) {
+		names = append(names, sp.Name)
+		depths[sp.Name] = d
+	})
+	wantOrder := []string{"link", "parse", "allocate", "solve"}
+	if len(names) != len(wantOrder) {
+		t.Fatalf("walk order = %v", names)
+	}
+	for i, n := range wantOrder {
+		if names[i] != n {
+			t.Fatalf("walk order = %v, want %v", names, wantOrder)
+		}
+	}
+	if depths["solve"] != 2 || depths["parse"] != 1 || depths["link"] != 0 {
+		t.Fatalf("depths = %v", depths)
+	}
+	if s := root.String(); !strings.Contains(s, "parse") || !strings.Contains(s, "solve") {
+		t.Fatalf("String() = %q", s)
+	}
+	// End is idempotent.
+	d := root.Dur
+	if root.End() != d {
+		t.Fatal("second End changed the duration")
+	}
+}
+
+func TestLoggerCounts(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	l := NewLogger(log.New(&buf, "", 0), r, "wire")
+	l.Infof("accepted %s", "1.2.3.4")
+	l.Errorf("request failed: %v", "boom")
+	l.Errorf("request failed again")
+	if l.Infos() != 1 || l.Errors() != 2 {
+		t.Fatalf("counts = %d info / %d error", l.Infos(), l.Errors())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "info: accepted 1.2.3.4") || !strings.Contains(out, "error: request failed: boom") {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.Contains(r.Prometheus(), `p4runpro_log_messages_total{subsystem="wire",level="error"} 2`) {
+		t.Fatalf("registry missing counted logs:\n%s", r.Prometheus())
+	}
+	// Nil-output logger still counts.
+	silent := NewLogger(nil, nil, "x")
+	silent.Infof("hidden")
+	if silent.Infos() != 1 {
+		t.Fatal("silent logger did not count")
+	}
+}

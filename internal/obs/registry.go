@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension, rendered as key="value" in the exposition.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Metric types in the exposition format. Histograms are exposed as
+// Prometheus summaries (pre-computed quantiles) because the quantiles are
+// what the paper's evaluation reports.
+const (
+	typeCounter = "counter"
+	typeGauge   = "gauge"
+	typeSummary = "summary"
+)
+
+// series is one (name, labels) combination and its backing value source.
+type series struct {
+	name   string
+	help   string
+	typ    string
+	labels string // rendered `key="value",key2="value2"`, or ""
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() uint64
+	gf func() float64
+}
+
+// Registry holds named metrics and renders them. Metrics are get-or-create:
+// asking for the same name+labels twice returns the same instance, so
+// packages can wire themselves without coordinating initialization order.
+// Registration is cheap but not hot-path; callers should hold the returned
+// pointer and record through it.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	order  []*series
+	frozen map[string]string // name -> type, to reject cross-type reuse
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series), frozen: make(map[string]string)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + `="` + l.Value + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// register returns the existing series for key or installs fill's result.
+func (r *Registry) register(name, help, typ string, labels []Label, fill func(*series)) *series {
+	ls := renderLabels(labels)
+	key := name + "{" + ls + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, typ, s.typ))
+		}
+		return s
+	}
+	if prev, ok := r.frozen[name]; ok && prev != typ {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, typ, prev))
+	}
+	s := &series{name: name, help: help, typ: typ, labels: ls}
+	fill(s)
+	r.byKey[key] = s
+	r.frozen[name] = typ
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, typeCounter, labels, func(s *series) { s.c = &Counter{} })
+	return s.c
+}
+
+// Gauge returns the gauge for name+labels, creating it if needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, typeGauge, labels, func(s *series) { s.g = &Gauge{} })
+	return s.g
+}
+
+// Histogram returns the histogram for name+labels, creating it if needed.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.register(name, help, typeSummary, labels, func(s *series) { s.h = &Histogram{} })
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time —
+// used to expose state that lives in another subsystem's atomics (e.g. the
+// switch's packet-path counters) without double counting.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, typeCounter, labels, func(s *series) { s.cf = fn })
+}
+
+// GaugeFunc registers a gauge computed at scrape time (e.g. per-RPB
+// occupancy read from the resource manager).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, typeGauge, labels, func(s *series) { s.gf = fn })
+}
+
+func (s *series) counterValue() uint64 {
+	if s.cf != nil {
+		return s.cf()
+	}
+	return s.c.Value()
+}
+
+func (s *series) gaugeValue() float64 {
+	if s.gf != nil {
+		return s.gf()
+	}
+	return s.g.Value()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// snapshot returns the registered series sorted by (name, labels), grouped
+// so each name appears contiguously.
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	out := make([]*series, len(r.order))
+	copy(out, r.order)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+func withLabels(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	}
+	return name + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (HELP/TYPE comments, one line per sample; histograms as summaries
+// with quantile labels plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastName := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastName {
+			fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.typ)
+			lastName = s.name
+		}
+		switch s.typ {
+		case typeCounter:
+			fmt.Fprintf(&b, "%s %d\n", withLabels(s.name, s.labels, ""), s.counterValue())
+		case typeGauge:
+			fmt.Fprintf(&b, "%s %s\n", withLabels(s.name, s.labels, ""), formatFloat(s.gaugeValue()))
+		case typeSummary:
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(&b, "%s %d\n",
+					withLabels(s.name, s.labels, fmt.Sprintf("quantile=%q", formatFloat(q))), s.h.Quantile(q))
+			}
+			fmt.Fprintf(&b, "%s %d\n", withLabels(s.name+"_sum", s.labels, ""), s.h.Sum())
+			fmt.Fprintf(&b, "%s %d\n", withLabels(s.name+"_count", s.labels, ""), s.h.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Prometheus renders the text exposition as a string.
+func (r *Registry) Prometheus() string {
+	var b strings.Builder
+	r.WritePrometheus(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// MetricJSON is one series in the JSON exposition.
+type MetricJSON struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Type   string  `json:"type"`
+	Value  float64 `json:"value,omitempty"`
+	Count  uint64  `json:"count,omitempty"`
+	Sum    uint64  `json:"sum,omitempty"`
+	P50    uint64  `json:"p50,omitempty"`
+	P95    uint64  `json:"p95,omitempty"`
+	P99    uint64  `json:"p99,omitempty"`
+}
+
+// JSON renders every series as a JSON array, for programmatic consumers of
+// the wire protocol's metrics verb.
+func (r *Registry) JSON() ([]byte, error) {
+	var out []MetricJSON
+	for _, s := range r.snapshot() {
+		m := MetricJSON{Name: s.name, Labels: s.labels, Type: s.typ}
+		switch s.typ {
+		case typeCounter:
+			m.Value = float64(s.counterValue())
+		case typeGauge:
+			m.Value = s.gaugeValue()
+		case typeSummary:
+			m.Count = s.h.Count()
+			m.Sum = s.h.Sum()
+			m.P50 = s.h.Quantile(0.5)
+			m.P95 = s.h.Quantile(0.95)
+			m.P99 = s.h.Quantile(0.99)
+		}
+		out = append(out, m)
+	}
+	return json.Marshal(out)
+}

@@ -32,6 +32,7 @@ const (
 // MAC is a 48-bit Ethernet address.
 type MAC [6]byte
 
+// String renders the address in canonical colon-separated hex.
 func (m MAC) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
 }
@@ -160,6 +161,7 @@ func (t FiveTuple) Bytes() []byte {
 	return b
 }
 
+// String renders the flow as src:port->dst:port/proto.
 func (t FiveTuple) String() string {
 	return fmt.Sprintf("%s:%d->%s:%d/%d", ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort, t.Proto)
 }

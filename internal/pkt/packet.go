@@ -26,6 +26,7 @@ const (
 // Has reports whether all bits of q are set in b.
 func (b ParseBitmap) Has(q ParseBitmap) bool { return b&q == q }
 
+// String lists the set header bits, e.g. "eth|ipv4|udp".
 func (b ParseBitmap) String() string {
 	names := ""
 	add := func(bit ParseBitmap, n string) {

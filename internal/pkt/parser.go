@@ -43,6 +43,7 @@ const (
 	StateAccept
 )
 
+// String names the parser state for diagnostics.
 func (s ParserState) String() string {
 	switch s {
 	case StateStart:

@@ -3,6 +3,7 @@ package rmt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"p4runpro/internal/hashing"
 	"p4runpro/internal/pkt"
@@ -60,6 +61,67 @@ type PortCounters struct {
 	TxBytes   uint64
 }
 
+// switchMetrics is the always-on packet-path instrumentation: plain atomic
+// counters updated inline (no locks, no allocation) so the observability
+// layer can expose them without perturbing the pipeline. The <5% overhead
+// budget is enforced by BenchmarkInstrumentationOverhead at the repo root.
+type switchMetrics struct {
+	packets  atomic.Uint64 // injected packets
+	passes   atomic.Uint64 // pipeline passes consumed (>= packets)
+	recircs  atomic.Uint64 // internal recirculations through the loopback port
+	saluOps  atomic.Uint64 // stateful-ALU memory accesses on the packet path
+	verdicts [VerdictNextHop + 1]atomic.Uint64
+	lookups  []atomic.Uint64 // table lookups per flat stage (ingress first)
+}
+
+// MetricsSnapshot is a point-in-time copy of the switch's packet-path
+// instrumentation, consumed by the control plane's metrics registry.
+type MetricsSnapshot struct {
+	Packets  uint64
+	Passes   uint64
+	Recircs  uint64
+	SALUOps  uint64
+	Verdicts [VerdictNextHop + 1]uint64
+	// StageLookups counts match-action lookups per stage, ingress stages
+	// first, then egress.
+	StageLookups []uint64
+}
+
+// Metrics snapshots the packet-path counters.
+func (s *Switch) Metrics() MetricsSnapshot {
+	m := MetricsSnapshot{
+		Packets: s.met.packets.Load(),
+		Passes:  s.met.passes.Load(),
+		Recircs: s.met.recircs.Load(),
+		SALUOps: s.met.saluOps.Load(),
+	}
+	for i := range s.met.verdicts {
+		m.Verdicts[i] = s.met.verdicts[i].Load()
+	}
+	m.StageLookups = make([]uint64, len(s.met.lookups))
+	for i := range s.met.lookups {
+		m.StageLookups[i] = s.met.lookups[i].Load()
+	}
+	return m
+}
+
+// StageLookupCount returns the lookup counter of one flat stage index
+// (ingress stages first, then egress) without snapshotting the whole
+// metrics set — the cheap per-series accessor for scrape-time collectors.
+func (s *Switch) StageLookupCount(flat int) uint64 {
+	if flat < 0 || flat >= len(s.met.lookups) {
+		return 0
+	}
+	return s.met.lookups[flat].Load()
+}
+
+// SetInstrumentation enables or disables packet-path metric recording.
+// Instrumentation is on by default and costs only atomic adds; disabling it
+// exists for the overhead benchmark and for experiments that want the
+// absolute minimum per-packet cost. Not safe to toggle while traffic is in
+// flight.
+func (s *Switch) SetInstrumentation(enabled bool) { s.instrOff = !enabled }
+
 // Switch is a provisioned RMT ASIC: fixed stages, tables, register arrays,
 // and hash units. Runtime reconfiguration is restricted to table entries and
 // register values, exactly as on real RMT hardware.
@@ -90,6 +152,9 @@ type Switch struct {
 	recircPackets uint64
 	recircBytes   uint64
 
+	met      switchMetrics
+	instrOff bool // zero value = instrumented (the default)
+
 	// queueDepth is the traffic manager's simulated queue occupancy,
 	// surfaced to programs as the meta.qdepth intrinsic.
 	queueDepth uint32
@@ -115,6 +180,7 @@ func New(cfg Config) *Switch {
 		rx:        make([]PortCounters, cfg.Ports+8),
 		cpuKeep:   1 << 16,
 	}
+	s.met.lookups = make([]atomic.Uint64, cfg.IngressStages+cfg.EgressStages)
 	for g := Ingress; g <= Egress; g++ {
 		for st := 0; st < cfg.StageCount(g); st++ {
 			k := stageKey{g, st}
@@ -245,6 +311,9 @@ func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, 
 		return 0, fmt.Errorf("rmt: second stateful access in %s stage %d (hardware allows one per packet per stage)", g, st)
 	}
 	p.memTouched[key] = true
+	if !s.instrOff {
+		s.met.saluOps.Add(1)
+	}
 	return s.arrays[stageKey{g, st}].Execute(op, addr, operand)
 }
 
@@ -254,6 +323,16 @@ func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, 
 // verdicts (e.g. DROP followed by MEMWRITE in the paper's cache program)
 // behave as on hardware, where drops are finalized at deparsing.
 func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
+	res := s.inject(p, inPort)
+	if !s.instrOff {
+		s.met.packets.Add(1)
+		s.met.passes.Add(uint64(res.Passes))
+		s.met.verdicts[res.Verdict].Add(1)
+	}
+	return res
+}
+
+func (s *Switch) inject(p *pkt.Packet, inPort int) Result {
 	if inPort >= 0 && inPort < len(s.rx) {
 		s.rx[inPort].TxPackets++
 		s.rx[inPort].TxBytes += uint64(p.WireLen)
@@ -286,6 +365,9 @@ func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
 		}
 		s.recircPackets++
 		s.recircBytes += uint64(p.WireLen)
+		if !s.instrOff {
+			s.met.recircs.Add(1)
+		}
 		phv.ResetPass()
 		if s.onRecirc != nil {
 			// Model the recirculation shim re-parse: the data plane
@@ -332,6 +414,10 @@ func (s *Switch) InjectBytes(frame []byte, inPort int) (Result, error) {
 func (s *Switch) runGress(phv *PHV, g Gress) {
 	phv.gress = g
 	n := s.cfg.StageCount(g)
+	flatBase := 0
+	if g == Egress {
+		flatBase = s.cfg.IngressStages
+	}
 	for st := 0; st < n; st++ {
 		phv.stage = st
 		s.mu.RLock()
@@ -339,6 +425,9 @@ func (s *Switch) runGress(phv *PHV, g Gress) {
 		s.mu.RUnlock()
 		for _, t := range plan {
 			t.Apply(phv)
+		}
+		if !s.instrOff && len(plan) > 0 {
+			s.met.lookups[flatBase+st].Add(uint64(len(plan)))
 		}
 	}
 }

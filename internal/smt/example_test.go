@@ -1,0 +1,37 @@
+package smt_test
+
+import (
+	"fmt"
+
+	"p4runpro/internal/smt"
+)
+
+// ExampleModel_Minimize solves a miniature version of the paper's §4.3
+// allocation model: three execution depths placed on logical RPBs 1..10
+// under the dependency chain x1 < x2 < x3, with a unary feasibility
+// constraint (standing in for te_req <= te_free) that only admits
+// even-numbered RPBs for the second depth. Minimizing f2 = xL yields the
+// placement with the shortest pipeline suffix.
+func ExampleModel_Minimize() {
+	m := smt.NewModel()
+	x1 := m.IntVar("x1", 1, 10)
+	x2 := m.IntVar("x2", 1, 10)
+	x3 := m.IntVar("x3", 1, 10)
+	_, _, _ = x1, x2, x3
+
+	m.Add(smt.Chain{Gap: 1})
+	m.Add(smt.Unary{V: x2, Name: "even-only", OK: func(v int) bool { return v%2 == 0 }})
+
+	sol, st, err := m.Minimize(smt.PureLast{})
+	if err != nil {
+		fmt.Println("infeasible:", err)
+		return
+	}
+	fmt.Println("placement:", sol.Values)
+	fmt.Println("objective:", sol.Objective)
+	fmt.Println("complete:", st.Complete)
+	// Output:
+	// placement: [1 2 3]
+	// objective: 3
+	// complete: true
+}

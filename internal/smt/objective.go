@@ -110,10 +110,12 @@ func MinimizeHierarchical(m *Model) (Solution, Stats, error) {
 	m.Add(Unary{V: last, Name: "fix-xL", OK: func(v int) bool { return v == bestLast }})
 	sol2, st2, err := m.Minimize(NegFirst{})
 	st := Stats{
-		Nodes:      st1.Nodes + st2.Nodes,
-		Backtracks: st1.Backtracks + st2.Backtracks,
-		Duration:   st1.Duration + st2.Duration,
-		Complete:   st1.Complete && st2.Complete,
+		Nodes:        st1.Nodes + st2.Nodes,
+		Backtracks:   st1.Backtracks + st2.Backtracks,
+		Propagations: st1.Propagations + st2.Propagations,
+		BoundPrunes:  st1.BoundPrunes + st2.BoundPrunes,
+		Duration:     st1.Duration + st2.Duration,
+		Complete:     st1.Complete && st2.Complete,
 	}
 	if err != nil {
 		return Solution{}, st, err

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"p4runpro/internal/obs"
 )
 
 // ErrInfeasible reports that no assignment satisfies all constraints.
@@ -35,6 +37,47 @@ type Model struct {
 	cons    []Constraint
 	// nodeLimit bounds search effort; 0 means unlimited.
 	nodeLimit int64
+	// metrics, when set, receives every search's effort (see SetMetrics).
+	metrics *Metrics
+}
+
+// Metrics holds optional observability sinks for the solver. When attached
+// to a model (SetMetrics), every Minimize call observes its search effort —
+// nodes explored, constraint propagations, bound prunes, and wall time in
+// nanoseconds — into the corresponding histograms, so a running controller
+// exposes the solver-effort distributions behind the paper's Figure 7/12
+// delay curves.
+type Metrics struct {
+	Nodes        *obs.Histogram
+	Propagations *obs.Histogram
+	BoundPrunes  *obs.Histogram
+	DurationNs   *obs.Histogram
+}
+
+// NewMetrics registers the solver histograms on reg under the
+// p4runpro_solver_* names.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Nodes:        reg.Histogram("p4runpro_solver_nodes", "Search nodes explored per Minimize call."),
+		Propagations: reg.Histogram("p4runpro_solver_propagations", "Constraint feasibility checks per Minimize call."),
+		BoundPrunes:  reg.Histogram("p4runpro_solver_bound_prunes", "Subtrees pruned by the objective bound per Minimize call."),
+		DurationNs:   reg.Histogram("p4runpro_solver_duration_ns", "Wall time per Minimize call in nanoseconds."),
+	}
+}
+
+// SetMetrics attaches observability sinks filled at the end of every
+// Minimize call. Nil (the default) records nothing.
+func (m *Model) SetMetrics(mx *Metrics) { m.metrics = mx }
+
+// observe records one search's effort into the attached sinks.
+func (mx *Metrics) observe(st Stats) {
+	if mx == nil {
+		return
+	}
+	mx.Nodes.Observe(uint64(st.Nodes))
+	mx.Propagations.Observe(uint64(st.Propagations))
+	mx.BoundPrunes.Observe(uint64(st.BoundPrunes))
+	mx.DurationNs.ObserveDuration(st.Duration)
 }
 
 // NewModel creates an empty model.
@@ -121,10 +164,17 @@ type Solution struct {
 
 // Stats describes the search effort.
 type Stats struct {
-	Nodes      int64
-	Backtracks int64
-	Duration   time.Duration
-	Complete   bool // false if the node limit truncated the search
+	Nodes int64
+	// Backtracks counts abandoned assignments for any reason (constraint
+	// infeasibility or bound prune); BoundPrunes isolates the subtrees cut
+	// by the objective bound, and Propagations counts individual constraint
+	// feasibility checks — together the quantities behind the solver-effort
+	// histograms in internal/obs.
+	Backtracks   int64
+	Propagations int64
+	BoundPrunes  int64
+	Duration     time.Duration
+	Complete     bool // false if the node limit truncated the search
 }
 
 // Minimize runs branch-and-bound over the model variables in index order
@@ -154,6 +204,7 @@ func (m *Model) Minimize(obj Objective) (Solution, Stats, error) {
 	for _, dom := range m.domains {
 		if len(dom) == 0 {
 			st.Duration = time.Since(start)
+			m.metrics.observe(st)
 			return Solution{}, st, ErrInfeasible
 		}
 	}
@@ -176,6 +227,7 @@ func (m *Model) Minimize(obj Objective) (Solution, Stats, error) {
 			vals[i], set[i] = cand, true
 			ok := true
 			for _, c := range search {
+				st.Propagations++
 				if ic, fast := c.(IncrementalConstraint); fast {
 					if !ic.FeasibleAt(i, vals, set) {
 						ok = false
@@ -202,6 +254,7 @@ func (m *Model) Minimize(obj Objective) (Solution, Stats, error) {
 					}
 				} else {
 					st.Backtracks++
+					st.BoundPrunes++
 				}
 			} else {
 				st.Backtracks++
@@ -212,6 +265,7 @@ func (m *Model) Minimize(obj Objective) (Solution, Stats, error) {
 	}
 	dfs(0)
 	st.Duration = time.Since(start)
+	m.metrics.observe(st)
 	if math.IsInf(best.Objective, 1) {
 		return Solution{}, st, ErrInfeasible
 	}

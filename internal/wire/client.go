@@ -137,6 +137,15 @@ func (c *Client) RemoveCase(program string, branchID int) error {
 	return c.call(MethodRemoveCase, RemoveCaseParams{Program: program, BranchID: branchID}, nil)
 }
 
+// Metrics scrapes the daemon's metrics registry. format is
+// MetricsFormatPrometheus (the default when empty) or MetricsFormatJSON;
+// the returned string is the rendered exposition body.
+func (c *Client) Metrics(format string) (string, error) {
+	var out MetricsResult
+	err := c.call(MethodMetrics, MetricsParams{Format: format}, &out)
+	return out.Body, err
+}
+
 // SetMulticastGroup configures a remote multicast replication group.
 func (c *Client) SetMulticastGroup(group int, ports []int) error {
 	return c.call(MethodMcastSet, McastSetParams{Group: group, Ports: ports}, nil)

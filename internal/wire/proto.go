@@ -38,7 +38,27 @@ const (
 	MethodAddCases    = "case.add"
 	MethodRemoveCase  = "case.remove"
 	MethodMcastSet    = "mcast.set"
+	MethodMetrics     = "metrics"
 )
+
+// Metrics exposition formats accepted by MethodMetrics.
+const (
+	MetricsFormatPrometheus = "prometheus"
+	MetricsFormatJSON       = "json"
+)
+
+// MetricsParams selects the exposition format; empty means Prometheus text.
+type MetricsParams struct {
+	Format string `json:"format,omitempty"`
+}
+
+// MetricsResult carries one rendered scrape of the controller's registry:
+// deploy/revoke latency histograms, compiler phase and solver-effort
+// histograms, per-stage RMT counters, and per-RPB occupancy gauges.
+type MetricsResult struct {
+	Format string `json:"format"`
+	Body   string `json:"body"`
+}
 
 // AddCasesParams extends a running program's BRANCH (incremental update).
 type AddCasesParams struct {

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"p4runpro/internal/controlplane"
+	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
 )
 
@@ -18,7 +19,12 @@ import (
 type Server struct {
 	ct  *controlplane.Controller
 	ln  net.Listener
-	log *log.Logger
+	log *obs.Logger
+
+	cConns    *obs.Counter
+	gActive   *obs.Gauge
+	cRequests *obs.Counter
+	cReqErrs  *obs.Counter
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -26,9 +32,20 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// NewServer wraps a controller. logger may be nil for silence.
+// NewServer wraps a controller. logger may be nil for silence; log volume
+// and request outcomes are still counted in the controller's registry.
 func NewServer(ct *controlplane.Controller, logger *log.Logger) *Server {
-	return &Server{ct: ct, log: logger, conns: make(map[net.Conn]struct{}), done: make(chan struct{})}
+	reg := ct.Obs
+	return &Server{
+		ct:        ct,
+		log:       obs.NewLogger(logger, reg, "wire"),
+		cConns:    reg.Counter("p4runpro_wire_connections_total", "TCP control connections accepted."),
+		gActive:   reg.Gauge("p4runpro_wire_connections_active", "TCP control connections currently open."),
+		cRequests: reg.Counter("p4runpro_wire_requests_total", "Control requests dispatched (all methods)."),
+		cReqErrs:  reg.Counter("p4runpro_wire_request_errors_total", "Control requests answered with an error."),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
+	}
 }
 
 // Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
@@ -60,12 +77,6 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.log != nil {
-		s.log.Printf(format, args...)
-	}
-}
-
 func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
@@ -78,9 +89,12 @@ func (s *Server) acceptLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.logf("wire: accept: %v", err)
+			s.log.Errorf("wire: accept: %v", err)
 			return
 		}
+		s.cConns.Inc()
+		s.gActive.Add(1)
+		s.log.Infof("wire: accept %s", conn.RemoteAddr())
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -91,6 +105,8 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
+		s.gActive.Add(-1)
+		s.log.Infof("wire: close %s", conn.RemoteAddr())
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -105,6 +121,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var req Request
 		resp := Response{}
+		s.cRequests.Inc()
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp.Error = "malformed request: " + err.Error()
 		} else {
@@ -121,8 +138,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 			}
 		}
+		if resp.Error != "" {
+			s.cReqErrs.Inc()
+			s.log.Errorf("wire: %s (id=%d): %s", req.Method, req.ID, resp.Error)
+		}
 		if err := enc.Encode(&resp); err != nil {
-			s.logf("wire: write response: %v", err)
+			s.log.Errorf("wire: write response: %v", err)
 			return
 		}
 	}
@@ -243,6 +264,26 @@ func (s *Server) dispatch(req Request) (any, error) {
 			return nil, err
 		}
 		return true, s.ct.RemoveCase(p.Program, p.BranchID)
+
+	case MethodMetrics:
+		var p MetricsParams
+		if len(req.Params) > 0 {
+			if err := json.Unmarshal(req.Params, &p); err != nil {
+				return nil, err
+			}
+		}
+		switch p.Format {
+		case "", MetricsFormatPrometheus:
+			return MetricsResult{Format: MetricsFormatPrometheus, Body: s.ct.Obs.Prometheus()}, nil
+		case MetricsFormatJSON:
+			body, err := s.ct.Obs.JSON()
+			if err != nil {
+				return nil, err
+			}
+			return MetricsResult{Format: MetricsFormatJSON, Body: string(body)}, nil
+		default:
+			return nil, fmt.Errorf("unknown metrics format %q", p.Format)
+		}
 
 	case MethodMcastSet:
 		var p McastSetParams

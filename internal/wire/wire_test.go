@@ -268,6 +268,57 @@ case(<har, 1, 0xffffffff>, <sar, 0x9999, 0xffffffff>, <mar, 0, 0xffffffff>) {
 	}
 }
 
+func TestMetricsOverWire(t *testing.T) {
+	_, c, ct := startServer(t)
+	if _, err := c.Deploy(testProgram); err != nil {
+		t.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 1, 2, 3), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+	frame := pkt.NewUDP(flow, 100).Marshal()
+	if _, err := c.Inject(frame, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := c.Metrics("")
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"p4runpro_deploys_total{outcome=\"ok\"} 1",
+		"p4runpro_rmt_packets_total 1",
+		"p4runpro_programs_linked 1",
+		"p4runpro_compiler_phase_ns",
+		"p4runpro_solver_nodes",
+		"p4runpro_wire_requests_total",
+		"p4runpro_wire_connections_active 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus scrape missing %q", want)
+		}
+	}
+
+	jbody, err := c.Metrics(MetricsFormatJSON)
+	if err != nil {
+		t.Fatalf("Metrics(json): %v", err)
+	}
+	var metrics []map[string]any
+	if err := json.Unmarshal([]byte(jbody), &metrics); err != nil {
+		t.Fatalf("json scrape not a metric array: %v", err)
+	}
+	if len(metrics) == 0 {
+		t.Fatal("json scrape empty")
+	}
+
+	if _, err := c.Metrics("xml"); err == nil || !strings.Contains(err.Error(), "unknown metrics format") {
+		t.Errorf("bad format err = %v", err)
+	}
+
+	// The scrape counters themselves come from the controller's registry.
+	if ct.Obs == nil {
+		t.Fatal("controller registry nil")
+	}
+}
+
 func TestMulticastOverWire(t *testing.T) {
 	_, c, ct := startServer(t)
 	if err := c.SetMulticastGroup(5, []int{1, 2, 3}); err != nil {

@@ -26,6 +26,7 @@ import (
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
 	"p4runpro/internal/lang"
+	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/wire"
@@ -53,6 +54,9 @@ type (
 	Server = wire.Server
 	// Client is the typed control-protocol client.
 	Client = wire.Client
+	// Registry is the metrics registry behind Controller.Obs; see
+	// docs/ARCHITECTURE.md for the metric inventory.
+	Registry = obs.Registry
 )
 
 // Objective kinds for Options.Objective.
