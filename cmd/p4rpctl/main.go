@@ -12,6 +12,13 @@
 //	p4rpctl [-addr host:9800] memread <program> <mem> <addr> [count]
 //	p4rpctl [-addr host:9800] memwrite <program> <mem> <addr> <value>
 //	p4rpctl [-addr host:9800] metrics [json]
+//
+// Against a fleet daemon (p4rpd -fleet N):
+//
+//	p4rpctl fleet deploy file.p4rp [replicas]
+//	p4rpctl fleet revoke <program>
+//	p4rpctl fleet list | members | util
+//	p4rpctl fleet memread <program> <mem> <addr> [count] [sum|max|first]
 package main
 
 import (
@@ -133,6 +140,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(body)
+	case "fleet":
+		need(args, 2)
+		fleetCmd(c, args[1:])
 	case "mcast":
 		need(args, 3)
 		ports := make([]int, 0, len(args)-2)
@@ -143,6 +153,96 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+// fleetCmd serves the fleet.* verbs against a p4rpd -fleet daemon.
+// args[0] is the subcommand ("deploy", "members", ...).
+func fleetCmd(c *wire.Client, args []string) {
+	switch args[0] {
+	case "deploy":
+		need(args, 2)
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		replicas := 0
+		if len(args) > 2 {
+			replicas = int(parse32(args[2]))
+		}
+		results, err := c.FleetDeploy(string(src), replicas)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("deployed unit %s: programs=%v members=%v entries=%d mem-words=%d\n",
+				r.Unit, r.Programs, r.Members, r.Entries, r.MemWords)
+		}
+	case "revoke":
+		need(args, 2)
+		r, err := c.FleetRevoke(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("revoked unit %s: programs=%v members=%v\n", r.Unit, r.Programs, r.Members)
+	case "list":
+		infos, err := c.FleetPrograms()
+		if err != nil {
+			fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tUNIT\tREPLICAS\tMEMBERS\tENTRIES\tMEM WORDS\tHITS")
+		for _, i := range infos {
+			fmt.Fprintf(w, "%s\t%s\t%d/%d\t%v\t%d\t%d\t%d\n",
+				i.Name, i.Unit, i.Replicas, i.Desired, i.Members, i.Entries, i.MemWords, i.Hits)
+		}
+		w.Flush()
+	case "members":
+		members, err := c.FleetMembers()
+		if err != nil {
+			fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "MEMBER\tSTATE\tPROGRAMS\tMEM\tENTRIES\tLAST PROBE\tLAST ERROR")
+		for _, m := range members {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.1f%%\t%.1f%%\t%v ago\t%s\n",
+				m.Name, m.State, m.Programs, m.MemFrac*100, m.EntryFrac*100, m.LastProbeAge, m.LastError)
+		}
+		w.Flush()
+	case "util":
+		rows, err := c.FleetUtilization()
+		if err != nil {
+			fatal(err)
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "MEMBER\tRPB\tENTRIES\tMEMORY")
+		for _, mr := range rows {
+			for _, r := range mr.Rows {
+				fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d/%d (%.1f%%)\n",
+					mr.Member, r.RPB, r.EntriesUsed, r.EntriesCap, r.MemUsed, r.MemCap, r.MemFrac*100)
+			}
+		}
+		w.Flush()
+	case "memread":
+		need(args, 4)
+		count := uint32(1)
+		if len(args) > 4 {
+			count = parse32(args[4])
+		}
+		agg := ""
+		if len(args) > 5 {
+			agg = args[5]
+		}
+		res, err := c.FleetMemRead(args[1], args[2], parse32(args[3]), count, agg)
+		if err != nil {
+			fatal(err)
+		}
+		for i, v := range res.Values {
+			fmt.Printf("%s[%d] = %d (0x%x)\n", args[2], parse32(args[3])+uint32(i), v, v)
+		}
+		fmt.Printf("aggregated %q over %d replicas\n", res.Agg, res.Replicas)
 	default:
 		usage()
 	}
@@ -175,7 +275,15 @@ commands:
   addcase <prog> <branch-depth> <file>     add case blocks to a running program
   removecase <prog> <branch-id>            remove a runtime-added case
   mcast <group> <port>...                  configure a multicast group
-  metrics [json]                           scrape the daemon's metrics registry`)
+  metrics [json]                           scrape the daemon's metrics registry
+fleet commands (against p4rpd -fleet):
+  fleet deploy <file.p4rp> [replicas]      place a unit on the fleet
+  fleet revoke <program>                   revoke a unit everywhere
+  fleet list                               programs with replica placement
+  fleet members                            member health and occupancy
+  fleet util                               per-member per-RPB utilization
+  fleet memread <prog> <mem> <addr> [count] [sum|max|first]
+                                           aggregate memory across replicas`)
 	os.Exit(2)
 }
 

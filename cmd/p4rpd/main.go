@@ -2,9 +2,14 @@
 // serves the control protocol over TCP — the counterpart of running the
 // prototype's control plane on the switch CPU.
 //
+// With -fleet N it instead provisions N member switches behind one fleet
+// controller (placement, health checking, failover) and serves the fleet.*
+// verbs — one daemon standing in for a sharded multi-switch deployment.
+//
 // Usage:
 //
 //	p4rpd [-listen :9800] [-r N]
+//	p4rpd [-listen :9800] [-r N] -fleet 3 [-replicas 2]
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
+	"p4runpro/internal/fleet"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/wire"
 )
@@ -23,21 +29,53 @@ import (
 func main() {
 	listen := flag.String("listen", ":9800", "control protocol listen address")
 	maxR := flag.Int("r", 1, "maximum recirculation iterations")
+	fleetN := flag.Int("fleet", 0, "run a fleet of N member switches instead of a single switch")
+	replicas := flag.Int("replicas", 1, "fleet mode: default replicas per deployed unit")
 	flag.Parse()
 
 	opt := core.DefaultOptions()
 	opt.MaxRecirc = *maxR
-	ct, err := controlplane.New(rmt.DefaultConfig(), opt)
-	if err != nil {
-		log.Fatalf("p4rpd: provision: %v", err)
+	logger := log.New(os.Stderr, "p4rpd: ", log.LstdFlags)
+
+	var srv *wire.Server
+	if *fleetN > 0 {
+		f := fleet.New(fleet.Options{
+			Policy:         fleet.ReplicateK{K: *replicas},
+			ScratchOptions: opt,
+			Logger:         logger,
+		})
+		for i := 0; i < *fleetN; i++ {
+			ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+			if err != nil {
+				log.Fatalf("p4rpd: provision member %d: %v", i+1, err)
+			}
+			if err := f.AddMember(fmt.Sprintf("m%d", i+1), fleet.Local(ct)); err != nil {
+				log.Fatalf("p4rpd: add member %d: %v", i+1, err)
+			}
+		}
+		f.Start()
+		defer f.Stop()
+		srv = fleet.NewWireServer(f, logger)
+		addr, err := srv.Listen(*listen)
+		if err != nil {
+			log.Fatalf("p4rpd: listen: %v", err)
+		}
+		fmt.Printf("p4rpd: fleet of %d members provisioned (replicas=%d), control plane on %s\n",
+			*fleetN, *replicas, addr)
+		fmt.Println("p4rpd: drive it with `p4rpctl fleet ...`; metrics via `p4rpctl metrics`")
+	} else {
+		ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+		if err != nil {
+			log.Fatalf("p4rpd: provision: %v", err)
+		}
+		srv = wire.NewServer(ct, logger)
+		addr, err := srv.Listen(*listen)
+		if err != nil {
+			log.Fatalf("p4rpd: listen: %v", err)
+		}
+		fmt.Printf("p4rpd: switch provisioned (%d RPBs), control plane on %s\n", ct.Plane.M, addr)
+		fmt.Println("p4rpd: metrics served via `p4rpctl metrics` (Prometheus text or json)")
 	}
-	srv := wire.NewServer(ct, log.New(os.Stderr, "p4rpd: ", log.LstdFlags))
-	addr, err := srv.Listen(*listen)
-	if err != nil {
-		log.Fatalf("p4rpd: listen: %v", err)
-	}
-	fmt.Printf("p4rpd: switch provisioned (%d RPBs), control plane on %s\n", ct.Plane.M, addr)
-	fmt.Println("p4rpd: metrics served via `p4rpctl metrics` (Prometheus text or json)")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

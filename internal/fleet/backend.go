@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"time"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/wire"
+)
+
+// Backend is one member switch's control surface — the subset of the wire
+// protocol the fleet drives. *wire.Client satisfies it directly (a member
+// daemon reached over TCP); Local adapts an in-process Controller. The
+// wire DTOs are the lingua franca so both transports look identical to
+// placement, health checking, and reconciliation.
+type Backend interface {
+	Deploy(source string) ([]wire.DeployResult, error)
+	Revoke(name string) (wire.RevokeResult, error)
+	Programs() ([]wire.ProgramInfo, error)
+	ReadMemory(program, mem string, addr, count uint32) ([]uint32, error)
+	WriteMemory(program, mem string, addr, value uint32) error
+	Utilization() ([]wire.UtilizationRow, error)
+	Status() (string, error)
+}
+
+var _ Backend = (*wire.Client)(nil)
+
+// LocalBackend adapts an in-process Controller to the Backend interface.
+type LocalBackend struct {
+	CT *controlplane.Controller
+}
+
+// Local wraps ct as a fleet member backend.
+func Local(ct *controlplane.Controller) *LocalBackend { return &LocalBackend{CT: ct} }
+
+// Deploy links source on the local controller.
+func (l *LocalBackend) Deploy(source string) ([]wire.DeployResult, error) {
+	reports, err := l.CT.Deploy(source)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.DeployResult, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, wire.DeployResult{
+			Program: r.Program, ProgramID: r.ProgramID, Entries: r.Entries,
+			AllocTime: r.AllocTime, UpdateDelay: r.UpdateDelay, Total: r.Total,
+		})
+	}
+	return out, nil
+}
+
+// Revoke unlinks a local program.
+func (l *LocalBackend) Revoke(name string) (wire.RevokeResult, error) {
+	r, err := l.CT.Revoke(name)
+	if err != nil {
+		return wire.RevokeResult{}, err
+	}
+	return wire.RevokeResult{Entries: r.Entries, MemReset: r.MemReset, UpdateDelay: r.UpdateDelay}, nil
+}
+
+// Programs lists local programs.
+func (l *LocalBackend) Programs() ([]wire.ProgramInfo, error) {
+	infos := l.CT.Programs()
+	out := make([]wire.ProgramInfo, 0, len(infos))
+	for _, i := range infos {
+		out = append(out, wire.ProgramInfo{
+			Name: i.Name, ProgramID: i.ProgramID, Depths: i.Depths,
+			Entries: i.Entries, MemWords: i.MemWords, Passes: i.Passes, Hits: i.Hits,
+		})
+	}
+	return out, nil
+}
+
+// ReadMemory reads a local virtual memory range.
+func (l *LocalBackend) ReadMemory(program, mem string, addr, count uint32) ([]uint32, error) {
+	if count == 0 {
+		count = 1
+	}
+	return l.CT.ReadMemoryRange(program, mem, addr, count)
+}
+
+// WriteMemory writes one local bucket.
+func (l *LocalBackend) WriteMemory(program, mem string, addr, value uint32) error {
+	return l.CT.WriteMemory(program, mem, addr, value)
+}
+
+// Utilization reports local per-RPB usage.
+func (l *LocalBackend) Utilization() ([]wire.UtilizationRow, error) {
+	var out []wire.UtilizationRow
+	for _, u := range l.CT.Utilization() {
+		out = append(out, wire.UtilizationRow{
+			RPB: int(u.RPB), EntriesUsed: u.EntriesUsed, EntriesCap: u.EntriesCap,
+			MemUsed: u.MemUsed, MemCap: u.MemCap,
+			MemFrac: float64(u.MemUsed) / float64(u.MemCap),
+		})
+	}
+	return out, nil
+}
+
+// Status returns the local controller status line.
+func (l *LocalBackend) Status() (string, error) { return l.CT.String(), nil }
+
+// DialMember connects to a member daemon with the client tuning the fleet
+// wants: bounded per-call deadlines (a hung member must not stall probes
+// or fan-outs) and reconnect-with-backoff retries for transient failures.
+func DialMember(addr string) (*wire.Client, error) {
+	return wire.Dial(addr,
+		wire.WithDialTimeout(2*time.Second),
+		wire.WithCallTimeout(5*time.Second),
+		wire.WithRetry(3, 50*time.Millisecond),
+	)
+}

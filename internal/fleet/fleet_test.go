@@ -1,0 +1,437 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/wire"
+)
+
+const counterSrc = `
+@ m 256
+program counter(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(m);
+    MEMADD(m);
+}
+`
+
+const dropSrc = `
+program dropper(<hdr.ipv4.src, 11.0.0.0, 0xff000000>) {
+    DROP;
+}
+`
+
+func newLocalMember(t *testing.T) *controlplane.Controller {
+	t.Helper()
+	ct, err := controlplane.New(rmt.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+// testFleet builds a fleet of n in-process members named m1..mN with fast
+// timings and no background loops (tests drive probes and reconciles
+// deterministically unless they call Start themselves).
+func testFleet(t *testing.T, n int, opt Options) (*Fleet, []*controlplane.Controller) {
+	t.Helper()
+	f := New(opt)
+	cts := make([]*controlplane.Controller, n)
+	for i := 0; i < n; i++ {
+		cts[i] = newLocalMember(t)
+		if err := f.AddMember(memberName(i), Local(cts[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, cts
+}
+
+func memberName(i int) string { return fmt.Sprintf("m%d", i+1) }
+
+func TestPlacementPolicies(t *testing.T) {
+	views := []MemberView{
+		{Name: "a", EntriesFree: 100, EntriesCap: 1000, MemFree: 1000, MemCap: 10000},
+		{Name: "b", EntriesFree: 900, EntriesCap: 1000, MemFree: 9000, MemCap: 10000},
+		{Name: "c", EntriesFree: 500, EntriesCap: 1000, MemFree: 5000, MemCap: 10000},
+	}
+	fp := Footprint{Entries: 50, MemWords: 500}
+
+	got, err := (BestFit{}).Place(views, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "a" || got[1] != "c" || got[2] != "b" {
+		t.Errorf("best-fit order = %v", got)
+	}
+
+	got, err = (Spread{}).Place(views, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Errorf("spread order = %v", got)
+	}
+
+	// Spread prefers fewer assigned units before headroom.
+	views[2].Units = 0
+	views[1].Units = 3
+	got, _ = (Spread{}).Place(views, fp)
+	if got[0] != "c" {
+		t.Errorf("spread with units order = %v", got)
+	}
+
+	// Members that cannot fit are excluded.
+	big := Footprint{Entries: 600, MemWords: 100}
+	got, err = (Spread{}).Place(views, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("big fit = %v", got)
+	}
+
+	// Nothing fits: typed error.
+	_, err = (BestFit{}).Place(views, Footprint{Entries: 5000})
+	var nc *ErrNoCapacity
+	if !errors.As(err, &nc) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+
+	// ReplicateK defers to its base and reports its replica count.
+	rk := ReplicateK{K: 2}
+	if replicas(rk) != 2 || replicas(Spread{}) != 1 {
+		t.Error("replica defaults wrong")
+	}
+	got, err = rk.Place(views, fp)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("replicate-k place = %v, %v", got, err)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	u := &Unit{Key: "a,b", Programs: []string{"a", "b"}, Replicas: 2, Members: []string{"m1"}}
+	if err := s.Put(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Unit{Key: "c,a", Programs: []string{"c", "a"}}); err == nil {
+		t.Error("conflicting program accepted")
+	}
+	got, ok := s.Resolve("b")
+	if !ok || got.Key != "a,b" {
+		t.Fatalf("resolve by program = %+v, %v", got, ok)
+	}
+	// Returned copies don't alias intent.
+	got.Members[0] = "hacked"
+	again, _ := s.Resolve("a,b")
+	if again.Members[0] != "m1" {
+		t.Error("store leaked mutable state")
+	}
+	s.SetMembers("a,b", []string{"m2", "m3"})
+	again, _ = s.Resolve("a")
+	if len(again.Members) != 2 || again.Members[0] != "m2" {
+		t.Errorf("members = %v", again.Members)
+	}
+	if _, ok := s.Delete("a,b"); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, ok := s.Resolve("a"); ok {
+		t.Error("program mapping survived delete")
+	}
+}
+
+func TestDeployReplicationAndFanIn(t *testing.T) {
+	f, cts := testFleet(t, 3, Options{Policy: ReplicateK{K: 2}})
+	res, err := f.Deploy(counterSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Members) != 2 || res[0].Unit != "counter" {
+		t.Fatalf("deploy result = %+v", res)
+	}
+	// Exactly two members hold the program.
+	holding := 0
+	for _, ct := range cts {
+		if len(ct.Programs()) == 1 {
+			holding++
+		}
+	}
+	if holding != 2 {
+		t.Fatalf("replicas on %d members, want 2", holding)
+	}
+	// Fan-in program view.
+	progs := f.Programs()
+	if len(progs) != 1 || progs[0].Replicas != 2 || progs[0].Desired != 2 || progs[0].Unit != "counter" {
+		t.Fatalf("programs = %+v", progs)
+	}
+	// Double deploy is rejected.
+	if _, err := f.Deploy(counterSrc, 0); err == nil {
+		t.Error("duplicate deploy accepted")
+	}
+	// A second unit spreads away from the first (least units first).
+	res2, err := f.Deploy(dropSrc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, _ := f.store.Resolve("counter")
+	for _, m := range res2[0].Members {
+		if u1.hasMember(m) {
+			t.Errorf("dropper landed on busy member %s (counter on %v)", m, u1.Members)
+		}
+	}
+	// Utilization fans out all three members.
+	if rows := f.Utilization(); len(rows) != 3 {
+		t.Fatalf("utilization rows = %d", len(rows))
+	}
+	// Revoke clears every replica.
+	rev, err := f.Revoke("counter")
+	if err != nil || len(rev.Members) != 2 {
+		t.Fatalf("revoke = %+v, %v", rev, err)
+	}
+	for _, ct := range cts {
+		for _, pi := range ct.Programs() {
+			if pi.Name == "counter" {
+				t.Error("replica survived revoke")
+			}
+		}
+	}
+	if _, err := f.Revoke("counter"); err == nil {
+		t.Error("double revoke accepted")
+	}
+}
+
+func TestMemReadAggregation(t *testing.T) {
+	f, cts := testFleet(t, 2, Options{Policy: ReplicateK{K: 2}})
+	if _, err := f.Deploy(counterSrc, 0); err != nil {
+		t.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 1, 2, 3), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+	frame := pkt.NewUDP(flow, 100)
+	// 2 packets through member 1, 3 through member 2.
+	for i := 0; i < 2; i++ {
+		cts[0].SW.Inject(frame.Clone(), 4)
+	}
+	for i := 0; i < 3; i++ {
+		cts[1].SW.Inject(frame.Clone(), 4)
+	}
+	sum, err := f.MemRead("counter", "m", 0, 256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Replicas != 2 || sum.Agg != wire.FleetAggSum {
+		t.Fatalf("sum meta = %+v", sum)
+	}
+	var total uint32
+	for _, v := range sum.Values {
+		total += v
+	}
+	if total != 5 {
+		t.Errorf("sum total = %d, want 5", total)
+	}
+	max, err := f.MemRead("counter", "m", 0, 256, wire.FleetAggMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxTotal uint32
+	for _, v := range max.Values {
+		maxTotal += v
+	}
+	if maxTotal != 3 { // same bucket on both members; max is the busier one
+		t.Errorf("max total = %d, want 3", maxTotal)
+	}
+	first, err := f.MemRead("counter", "m", 0, 256, wire.FleetAggFirst)
+	if err != nil || first.Replicas != 1 {
+		t.Fatalf("first = %+v, %v", first, err)
+	}
+	if _, err := f.MemRead("counter", "m", 0, 1, "median"); err == nil {
+		t.Error("bad aggregation accepted")
+	}
+	// Writes reach every replica.
+	if err := f.MemWrite("counter", "m", 7, 99); err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		v, err := ct.ReadMemory("counter", "m", 7)
+		if err != nil || v != 99 {
+			t.Errorf("member %d bucket = %d, %v", i, v, err)
+		}
+	}
+}
+
+// flakyBackend wraps a Backend and fails every call while tripped.
+type flakyBackend struct {
+	Backend
+	dead atomic.Bool
+}
+
+var errFlaky = errors.New("simulated member crash")
+
+func (fb *flakyBackend) check() error {
+	if fb.dead.Load() {
+		return errFlaky
+	}
+	return nil
+}
+
+func (fb *flakyBackend) Deploy(src string) ([]wire.DeployResult, error) {
+	if err := fb.check(); err != nil {
+		return nil, err
+	}
+	return fb.Backend.Deploy(src)
+}
+
+func (fb *flakyBackend) Programs() ([]wire.ProgramInfo, error) {
+	if err := fb.check(); err != nil {
+		return nil, err
+	}
+	return fb.Backend.Programs()
+}
+
+func (fb *flakyBackend) Utilization() ([]wire.UtilizationRow, error) {
+	if err := fb.check(); err != nil {
+		return nil, err
+	}
+	return fb.Backend.Utilization()
+}
+
+func (fb *flakyBackend) ReadMemory(p, m string, a, c uint32) ([]uint32, error) {
+	if err := fb.check(); err != nil {
+		return nil, err
+	}
+	return fb.Backend.ReadMemory(p, m, a, c)
+}
+
+func TestHealthStateMachineAndFailover(t *testing.T) {
+	opt := Options{
+		Policy:        ReplicateK{K: 2},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  100 * time.Millisecond,
+		DownAfter:     3,
+	}
+	f := New(opt)
+	cts := make([]*controlplane.Controller, 3)
+	flaky := &flakyBackend{}
+	for i := 0; i < 3; i++ {
+		cts[i] = newLocalMember(t)
+		var b Backend = Local(cts[i])
+		if i == 0 {
+			flaky.Backend = b
+			b = flaky
+		}
+		if err := f.AddMember([]string{"m1", "m2", "m3"}[i], b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Deploy(counterSrc, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh identical members tie-break by name: the unit sits on m1+m2.
+	u, _ := f.store.Resolve("counter")
+	if !u.hasMember("m1") || !u.hasMember("m2") {
+		t.Fatalf("members = %v, want [m1 m2]", u.Members)
+	}
+
+	// Trip the flaky member and walk the probe state machine.
+	flaky.dead.Store(true)
+	m1, _ := f.member("m1")
+	f.probe(m1)
+	if got := f.stateOf(m1); got != Suspect {
+		t.Fatalf("after 1 failure state = %v", got)
+	}
+	f.probe(m1)
+	if got := f.stateOf(m1); got != Suspect {
+		t.Fatalf("after 2 failures state = %v", got)
+	}
+	f.probe(m1)
+	if got := f.stateOf(m1); got != Down {
+		t.Fatalf("after 3 failures state = %v", got)
+	}
+
+	// Reads skip the down member without failing.
+	if _, err := f.MemRead("counter", "m", 0, 1, ""); err != nil {
+		t.Fatalf("read failed during outage: %v", err)
+	}
+
+	// Reconcile fails the down member's unit over to the survivor m3.
+	f.Reconcile()
+	after, _ := f.store.Resolve("counter")
+	if len(after.Members) != 2 || after.hasMember("m1") || !after.hasMember("m3") {
+		t.Fatalf("unit not failed over: %v", after.Members)
+	}
+	for _, i := range []int{1, 2} {
+		found := false
+		for _, pi := range cts[i].Programs() {
+			if pi.Name == "counter" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("member %d missing counter after failover", i+1)
+		}
+	}
+	scrape := f.Obs.Prometheus()
+	for _, want := range []string{
+		"p4runpro_fleet_failovers_total 1",
+		"p4runpro_fleet_member_down_transitions_total 1",
+		`p4runpro_fleet_reconcile_actions_total{action="deploy"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Recovery: member comes back, probe heals it, reconcile revokes the
+	// orphaned stale copy (its unit now lives elsewhere).
+	flaky.dead.Store(false)
+	f.probe(m1)
+	if got := f.stateOf(m1); got != Healthy {
+		t.Fatalf("after recovery state = %v", got)
+	}
+	f.Reconcile()
+	if n := len(cts[0].Programs()); n != 0 {
+		t.Errorf("orphan not revoked, member 1 has %d programs", n)
+	}
+}
+
+func TestFootprintEstimate(t *testing.T) {
+	f, _ := testFleet(t, 1, Options{})
+	names, fp, err := f.footprint(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "counter" {
+		t.Fatalf("names = %v", names)
+	}
+	if fp.Entries == 0 || fp.MemWords != 256 {
+		t.Fatalf("footprint = %+v", fp)
+	}
+	// The scratch controller is clean afterwards: estimating twice agrees.
+	_, fp2, err := f.footprint(counterSrc)
+	if err != nil || fp2 != fp {
+		t.Fatalf("second estimate = %+v, %v", fp2, err)
+	}
+	if _, _, err := f.footprint("program broken("); err == nil {
+		t.Error("bad source estimated")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	f, _ := testFleet(t, 1, Options{ProbeInterval: 5 * time.Millisecond, ReconcileInterval: 5 * time.Millisecond})
+	f.Start()
+	f.Start() // second start is a no-op
+	time.Sleep(20 * time.Millisecond)
+	f.Stop()
+	f.Stop() // second stop is a no-op
+	if !strings.Contains(f.String(), "1 members (1 healthy") {
+		t.Errorf("status = %s", f.String())
+	}
+}

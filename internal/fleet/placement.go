@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Footprint is a program unit's compiled resource demand per replica,
+// estimated by linking the source on the fleet's scratch controller
+// before any member is touched.
+type Footprint struct {
+	Entries  int
+	MemWords uint32
+}
+
+// MemberView is a placement candidate: a healthy member's aggregate
+// headroom from its last utilization probe.
+type MemberView struct {
+	Name        string
+	EntriesFree int
+	MemFree     uint32
+	EntriesCap  int
+	MemCap      uint32
+	Units       int // fleet units already assigned here
+}
+
+// Fits reports whether the member's aggregate headroom covers fp. This is
+// a necessary-but-approximate check (allocation is per-RPB and contiguous
+// on the member); a deploy that still fails there just moves placement to
+// the next candidate.
+func (v MemberView) Fits(fp Footprint) bool {
+	return v.EntriesFree >= fp.Entries && v.MemFree >= fp.MemWords
+}
+
+// headroom scores remaining capacity in [0,1]: the mean of free-entry and
+// free-memory fractions.
+func (v MemberView) headroom() float64 {
+	var e, m float64
+	if v.EntriesCap > 0 {
+		e = float64(v.EntriesFree) / float64(v.EntriesCap)
+	}
+	if v.MemCap > 0 {
+		m = float64(v.MemFree) / float64(v.MemCap)
+	}
+	return (e + m) / 2
+}
+
+// Policy ranks healthy members for one unit placement. It returns
+// candidates in preference order (the fleet takes the first k that accept
+// the deploy) and may exclude members that cannot fit fp.
+type Policy interface {
+	Name() string
+	Place(members []MemberView, fp Footprint) ([]string, error)
+}
+
+// ErrNoCapacity reports that no healthy member can fit a footprint.
+type ErrNoCapacity struct {
+	FP        Footprint
+	Healthy   int
+	PolicyTag string
+}
+
+func (e *ErrNoCapacity) Error() string {
+	return fmt.Sprintf("fleet: no member fits %d entries / %d mem words (%d healthy, policy %s)",
+		e.FP.Entries, e.FP.MemWords, e.Healthy, e.PolicyTag)
+}
+
+func rank(members []MemberView, fp Footprint, less func(a, b MemberView) bool, tag string) ([]string, error) {
+	fit := make([]MemberView, 0, len(members))
+	for _, m := range members {
+		if m.Fits(fp) {
+			fit = append(fit, m)
+		}
+	}
+	if len(fit) == 0 {
+		return nil, &ErrNoCapacity{FP: fp, Healthy: len(members), PolicyTag: tag}
+	}
+	sort.SliceStable(fit, func(i, j int) bool { return less(fit[i], fit[j]) })
+	out := make([]string, len(fit))
+	for i, m := range fit {
+		out[i] = m.Name
+	}
+	return out, nil
+}
+
+// BestFit packs: it prefers the member with the least headroom that still
+// fits, keeping other members free for large future programs.
+type BestFit struct{}
+
+// Name identifies the policy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Place ranks fitting members by ascending headroom.
+func (BestFit) Place(members []MemberView, fp Footprint) ([]string, error) {
+	return rank(members, fp, func(a, b MemberView) bool {
+		if a.headroom() != b.headroom() {
+			return a.headroom() < b.headroom()
+		}
+		return a.Name < b.Name // deterministic tie break
+	}, "best-fit")
+}
+
+// Spread balances: it prefers the member with the most headroom, breaking
+// ties toward fewer assigned units, so load and blast radius stay even.
+type Spread struct{}
+
+// Name identifies the policy.
+func (Spread) Name() string { return "spread" }
+
+// Place ranks fitting members by descending headroom.
+func (Spread) Place(members []MemberView, fp Footprint) ([]string, error) {
+	return rank(members, fp, func(a, b MemberView) bool {
+		if a.Units != b.Units {
+			return a.Units < b.Units
+		}
+		if a.headroom() != b.headroom() {
+			return a.headroom() > b.headroom()
+		}
+		return a.Name < b.Name
+	}, "spread")
+}
+
+// ReplicateK deploys every unit to K members (ranked by the wrapped
+// policy, Spread when nil), so any single member failure leaves K-1 live
+// replicas for reads and an immediate failover source of truth.
+type ReplicateK struct {
+	K    int
+	Base Policy
+}
+
+// Name identifies the policy.
+func (r ReplicateK) Name() string { return fmt.Sprintf("replicate-%d", r.K) }
+
+// Place defers ranking to the base policy; the fleet takes K winners.
+func (r ReplicateK) Place(members []MemberView, fp Footprint) ([]string, error) {
+	base := r.Base
+	if base == nil {
+		base = Spread{}
+	}
+	return base.Place(members, fp)
+}
+
+// replicas returns how many members a policy wants for one unit.
+func replicas(p Policy) int {
+	if r, ok := p.(ReplicateK); ok && r.K > 1 {
+		return r.K
+	}
+	return 1
+}

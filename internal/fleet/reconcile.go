@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"time"
+)
+
+// reconcileLoop periodically diffs desired vs. actual state, and runs
+// immediately when kicked (a member going down or rejoining).
+func (f *Fleet) reconcileLoop() {
+	defer f.wg.Done()
+	done := f.doneCh()
+	t := time.NewTicker(f.opt.ReconcileInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		case <-f.kick:
+		}
+		f.Reconcile()
+	}
+}
+
+// Reconcile runs one desired-vs-actual pass:
+//
+//  1. drop unit assignments pointing at Down (or removed) members — each
+//     dropped assignment is a failover that must be replaced;
+//  2. repair divergence on live assigned members (a unit partially or
+//     wholly missing is revoked clean and re-deployed from the stored
+//     source);
+//  3. top up units below their replica target on policy-ranked healthy
+//     members;
+//  4. revoke orphans — fleet-owned programs sitting on members the store
+//     no longer assigns (e.g. a revived member whose units failed over
+//     while it was down). Programs the store has never heard of are left
+//     alone; they belong to out-of-band operators.
+//
+// It is safe to call manually (tests, CLI) and serializes with
+// Deploy/Revoke.
+func (f *Fleet) Reconcile() {
+	f.intentMu.Lock()
+	defer f.intentMu.Unlock()
+	start := time.Now()
+	f.m.cReconcileRuns.Inc()
+
+	// One listing per live member for the whole pass.
+	type listing struct {
+		m        *member
+		programs map[string]bool
+	}
+	listings := make(map[string]*listing)
+	f.mu.Lock()
+	names := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	for _, name := range names {
+		m, ok := f.member(name)
+		if !ok || f.stateOf(m) != Healthy {
+			continue
+		}
+		infos, err := m.b.Programs()
+		if err != nil {
+			f.noteFailure(m, err)
+			continue
+		}
+		set := make(map[string]bool, len(infos))
+		for _, pi := range infos {
+			set[pi.Name] = true
+		}
+		f.mu.Lock()
+		m.programs = len(infos)
+		f.mu.Unlock()
+		listings[name] = &listing{m: m, programs: set}
+	}
+
+	for _, u := range f.store.List() {
+		assigned := make([]string, 0, len(u.Members))
+		failedOver := 0
+		for _, name := range u.Members {
+			m, ok := f.member(name)
+			if !ok || f.stateOf(m) == Down {
+				failedOver++
+				continue
+			}
+			assigned = append(assigned, name)
+		}
+		if failedOver > 0 {
+			f.m.cFailovers.Add(uint64(failedOver))
+			f.log.Errorf("fleet: unit %s lost %d replica(s), re-placing", u.Key, failedOver)
+		}
+
+		// Repair divergence on members we could list.
+		kept := assigned[:0]
+		for _, name := range assigned {
+			l, ok := listings[name]
+			if !ok {
+				kept = append(kept, name) // suspect/unlistable: keep assignment
+				continue
+			}
+			missing := 0
+			for _, p := range u.Programs {
+				if !l.programs[p] {
+					missing++
+				}
+			}
+			if missing == 0 {
+				kept = append(kept, name)
+				continue
+			}
+			// Partial unit: clear what's left, then re-deploy whole.
+			for _, p := range u.Programs {
+				if l.programs[p] {
+					f.revokeUnitOn(name, []string{p})
+					delete(l.programs, p)
+				}
+			}
+			if _, err := l.m.b.Deploy(u.Source); err != nil {
+				f.log.Errorf("fleet: repair %s on %s: %v", u.Key, name, err)
+				continue
+			}
+			f.m.cReconcileDeploys.Inc()
+			for _, p := range u.Programs {
+				l.programs[p] = true
+			}
+			kept = append(kept, name)
+		}
+		assigned = kept
+
+		// Top up to the replica target.
+		if len(assigned) < u.Replicas {
+			skip := make(map[string]bool, len(assigned))
+			for _, n := range assigned {
+				skip[n] = true
+			}
+			fp := Footprint{Entries: u.Entries, MemWords: u.MemWords}
+			if ranked, err := f.opt.Policy.Place(f.liveViews(skip), fp); err == nil {
+				added := f.deployRanked(u.Source, u.Programs, ranked, u.Replicas-len(assigned))
+				for _, name := range added {
+					f.m.cReconcileDeploys.Inc()
+					if l, ok := listings[name]; ok {
+						for _, p := range u.Programs {
+							l.programs[p] = true
+						}
+					}
+				}
+				if len(added) > 0 {
+					f.refreshUtil(added)
+					f.log.Infof("fleet: unit %s re-placed on %v", u.Key, added)
+				}
+				assigned = append(assigned, added...)
+			} else {
+				f.log.Errorf("fleet: unit %s below target (%d/%d): %v", u.Key, len(assigned), u.Replicas, err)
+			}
+		}
+		f.store.SetMembers(u.Key, assigned)
+	}
+
+	// Orphan sweep against the updated assignments.
+	for name, l := range listings {
+		for p := range l.programs {
+			u, ok := f.store.Resolve(p)
+			if !ok || u.hasMember(name) {
+				continue
+			}
+			f.revokeUnitOn(name, []string{p})
+			f.m.cReconcileRevokes.Inc()
+			f.log.Infof("fleet: revoked orphan %s from %s", p, name)
+		}
+	}
+	f.m.hReconcileNs.ObserveDuration(time.Since(start))
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"encoding/json"
+	"log"
+
+	"p4runpro/internal/wire"
+)
+
+// RegisterWire attaches the fleet.* verbs to a wire server, making the
+// fleet drivable by wire.Client's Fleet* methods and cmd/p4rpctl's fleet
+// subcommands.
+func RegisterWire(s *wire.Server, f *Fleet) {
+	s.Handle(wire.MethodFleetDeploy, func(params json.RawMessage) (any, error) {
+		var p wire.FleetDeployParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return f.Deploy(p.Source, p.Replicas)
+	})
+	s.Handle(wire.MethodFleetRevoke, func(params json.RawMessage) (any, error) {
+		var p wire.FleetRevokeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return f.Revoke(p.Name)
+	})
+	s.Handle(wire.MethodFleetPrograms, func(json.RawMessage) (any, error) {
+		return f.Programs(), nil
+	})
+	s.Handle(wire.MethodFleetMembers, func(json.RawMessage) (any, error) {
+		return f.Members(), nil
+	})
+	s.Handle(wire.MethodFleetUtilization, func(json.RawMessage) (any, error) {
+		return f.Utilization(), nil
+	})
+	s.Handle(wire.MethodFleetMemRead, func(params json.RawMessage) (any, error) {
+		var p wire.FleetMemReadParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return f.MemRead(p.Program, p.Mem, p.Addr, p.Count, p.Agg)
+	})
+	s.Handle(wire.MethodStatus, func(json.RawMessage) (any, error) {
+		return f.String(), nil
+	})
+}
+
+// NewWireServer builds a bare wire server (no single-switch verbs)
+// serving this fleet's verbs and its metrics registry — what
+// cmd/p4rpd -fleet listens with.
+func NewWireServer(f *Fleet, logger *log.Logger) *wire.Server {
+	s := wire.NewBareServer(f.Obs, logger)
+	RegisterWire(s, f)
+	return s
+}

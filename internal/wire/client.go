@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,63 +13,197 @@ import (
 
 // Client is a typed client for the control protocol.
 type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	retry       RetryPolicy
+
 	mu     sync.Mutex
 	conn   net.Conn
 	rd     *bufio.Reader
 	nextID int64
 }
 
-// Dial connects to a daemon.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, err
+// RetryPolicy governs opt-in reconnect-and-retry of transport failures:
+// Attempts total tries per operation with exponential backoff from Base,
+// capped at Max, each sleep jittered ±25%. The zero value disables
+// retries.
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+// backoff returns the jittered sleep before try i (1-based; try 1 never
+// sleeps).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	if i <= 1 {
+		return 0
 	}
-	return &Client{conn: conn, rd: bufio.NewReaderSize(conn, 1<<20)}, nil
+	d := p.Base << uint(i-2)
+	if max := p.Max; max > 0 && d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	jitter := 0.75 + 0.5*rand.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*Client)
+
+// WithRetry enables reconnect-and-retry for transient connection errors
+// (refused dials, resets, broken pipes), with exponential backoff plus
+// jitter between tries. Default base/max are 50ms/2s when zero. Retries
+// cover the initial dial and any call whose transport fails — a call that
+// reached the server may re-execute, so enable this only for idempotent
+// or monitoring traffic (the fleet health checker's use). Server-reported
+// errors are never retried.
+func WithRetry(attempts int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		c.retry = RetryPolicy{Attempts: attempts, Base: base, Max: 2 * time.Second}
+	}
+}
+
+// WithCallTimeout bounds each RPC round trip: the connection deadline is
+// armed before the request is written and cleared after the response is
+// read, so a hung server cannot block the caller forever.
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithDialTimeout overrides the 5s connect timeout.
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// Dial connects to a daemon.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{addr: addr, dialTimeout: 5 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	attempts := 1
+	if c.retry.enabled() {
+		attempts = c.retry.Attempts
+	}
+	var err error
+	for i := 1; i <= attempts; i++ {
+		time.Sleep(c.retry.backoff(i))
+		if err = c.connect(); err == nil {
+			return c, nil
+		}
+	}
+	return nil, err
+}
+
+// connect (re)establishes the TCP session. Caller must not hold c.mu when
+// calling from Dial; call() invokes it with the lock held.
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.rd = bufio.NewReaderSize(conn, 1<<20)
+	return nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
-// call performs one RPC round trip.
+// call performs one RPC round trip, reconnecting and retrying transport
+// failures when a retry policy is set.
 func (c *Client) call(method string, params, result any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := 1
+	if c.retry.enabled() {
+		attempts = c.retry.Attempts
+	}
+	var err error
+	for i := 1; i <= attempts; i++ {
+		time.Sleep(c.retry.backoff(i))
+		if c.conn == nil {
+			if err = c.connect(); err != nil {
+				continue
+			}
+		}
+		var retryable bool
+		retryable, err = c.roundTrip(method, params, result)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		c.conn.Close()
+		c.conn = nil
+	}
+	return err
+}
+
+// roundTrip writes one request and reads its response on the current
+// connection. The bool reports whether the failure was a transport error
+// worth a reconnect (as opposed to a server-reported or encoding error).
+func (c *Client) roundTrip(method string, params, result any) (bool, error) {
 	c.nextID++
 	req := Request{ID: c.nextID, Method: method}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {
-			return err
+			return false, err
 		}
 		req.Params = raw
 	}
 	line, err := json.Marshal(&req)
 	if err != nil {
-		return err
+		return false, err
 	}
 	line = append(line, '\n')
+	if c.callTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
+			return true, err
+		}
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
 	if _, err := c.conn.Write(line); err != nil {
-		return err
+		return true, err
 	}
 	respLine, err := c.rd.ReadBytes('\n')
 	if err != nil {
-		return err
+		return true, err
 	}
 	var resp Response
 	if err := json.Unmarshal(respLine, &resp); err != nil {
-		return err
+		return false, err
 	}
 	if resp.ID != req.ID {
-		return fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+		return false, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Error != "" {
-		return fmt.Errorf("wire: %s", resp.Error)
+		return false, fmt.Errorf("wire: %s", resp.Error)
 	}
 	if result != nil {
-		return json.Unmarshal(resp.Result, result)
+		return false, json.Unmarshal(resp.Result, result)
 	}
-	return nil
+	return false, nil
 }
 
 // Deploy links P4runpro source on the remote switch.
@@ -149,4 +284,48 @@ func (c *Client) Metrics(format string) (string, error) {
 // SetMulticastGroup configures a remote multicast replication group.
 func (c *Client) SetMulticastGroup(group int, ports []int) error {
 	return c.call(MethodMcastSet, McastSetParams{Group: group, Ports: ports}, nil)
+}
+
+// FleetDeploy places source on a fleet daemon with the given replica count
+// (0 uses the fleet default).
+func (c *Client) FleetDeploy(source string, replicas int) ([]FleetDeployResult, error) {
+	var out []FleetDeployResult
+	err := c.call(MethodFleetDeploy, FleetDeployParams{Source: source, Replicas: replicas}, &out)
+	return out, err
+}
+
+// FleetRevoke removes a program's deployment unit fleet-wide.
+func (c *Client) FleetRevoke(name string) (FleetRevokeResult, error) {
+	var out FleetRevokeResult
+	err := c.call(MethodFleetRevoke, FleetRevokeParams{Name: name}, &out)
+	return out, err
+}
+
+// FleetPrograms lists the fleet's fan-in program view.
+func (c *Client) FleetPrograms() ([]FleetProgramInfo, error) {
+	var out []FleetProgramInfo
+	err := c.call(MethodFleetPrograms, nil, &out)
+	return out, err
+}
+
+// FleetMembers lists member health and occupancy.
+func (c *Client) FleetMembers() ([]FleetMemberInfo, error) {
+	var out []FleetMemberInfo
+	err := c.call(MethodFleetMembers, nil, &out)
+	return out, err
+}
+
+// FleetUtilization fetches per-member, per-RPB usage.
+func (c *Client) FleetUtilization() ([]FleetUtilRow, error) {
+	var out []FleetUtilRow
+	err := c.call(MethodFleetUtilization, nil, &out)
+	return out, err
+}
+
+// FleetMemRead reads a program's virtual memory across its replicas,
+// aggregated by agg (FleetAggSum when empty).
+func (c *Client) FleetMemRead(program, mem string, addr, count uint32, agg string) (FleetMemReadResult, error) {
+	var out FleetMemReadResult
+	err := c.call(MethodFleetMemRead, FleetMemReadParams{Program: program, Mem: mem, Addr: addr, Count: count, Agg: agg}, &out)
+	return out, err
 }

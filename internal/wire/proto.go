@@ -41,6 +41,104 @@ const (
 	MethodMetrics     = "metrics"
 )
 
+// Fleet method names, served by a daemon running in fleet mode
+// (cmd/p4rpd -fleet). The handlers live in internal/fleet and are attached
+// to a Server through Handle; this file only defines the shared DTOs so
+// client and server agree without wire importing fleet.
+const (
+	MethodFleetDeploy      = "fleet.deploy"
+	MethodFleetRevoke      = "fleet.revoke"
+	MethodFleetPrograms    = "fleet.programs"
+	MethodFleetMembers     = "fleet.members"
+	MethodFleetUtilization = "fleet.utilization"
+	MethodFleetMemRead     = "fleet.memread"
+)
+
+// FleetDeployParams carries source text plus the desired replica count
+// (0 means the fleet's default policy decides).
+type FleetDeployParams struct {
+	Source   string `json:"source"`
+	Replicas int    `json:"replicas,omitempty"`
+}
+
+// FleetDeployResult reports one placed deployment unit.
+type FleetDeployResult struct {
+	Unit     string   `json:"unit"`
+	Programs []string `json:"programs"`
+	Members  []string `json:"members"`
+	Entries  int      `json:"entries"`
+	MemWords uint32   `json:"mem_words"`
+}
+
+// FleetRevokeParams names a program (or deployment unit) to revoke
+// fleet-wide.
+type FleetRevokeParams struct {
+	Name string `json:"name"`
+}
+
+// FleetRevokeResult reports which programs were removed from which members.
+type FleetRevokeResult struct {
+	Unit     string   `json:"unit"`
+	Programs []string `json:"programs"`
+	Members  []string `json:"members"`
+}
+
+// FleetProgramInfo is the fan-in view of one program across the fleet.
+type FleetProgramInfo struct {
+	Name     string   `json:"name"`
+	Unit     string   `json:"unit"`
+	Replicas int      `json:"replicas"`
+	Desired  int      `json:"desired"`
+	Members  []string `json:"members"`
+	Entries  int      `json:"entries"`
+	MemWords uint32   `json:"mem_words"`
+	Hits     uint64   `json:"hits"`
+}
+
+// FleetMemberInfo reports one member's health and occupancy.
+type FleetMemberInfo struct {
+	Name         string  `json:"name"`
+	State        string  `json:"state"`
+	ConsecFails  int     `json:"consec_fails"`
+	LastError    string  `json:"last_error,omitempty"`
+	Programs     int     `json:"programs"`
+	MemFrac      float64 `json:"mem_frac"`
+	EntryFrac    float64 `json:"entry_frac"`
+	LastProbeAge string  `json:"last_probe_age,omitempty"`
+}
+
+// FleetUtilRow is one member's per-RPB utilization in a fleet fan-out.
+type FleetUtilRow struct {
+	Member string           `json:"member"`
+	Rows   []UtilizationRow `json:"rows"`
+}
+
+// Gather-scatter aggregation modes for fleet memory reads across replicas.
+const (
+	FleetAggSum   = "sum"
+	FleetAggMax   = "max"
+	FleetAggFirst = "first"
+)
+
+// FleetMemReadParams addresses a virtual memory range fleet-wide. Agg
+// selects how per-replica values combine (default sum — the paper's
+// programs are predominantly counters and sketches).
+type FleetMemReadParams struct {
+	Program string `json:"program"`
+	Mem     string `json:"mem"`
+	Addr    uint32 `json:"addr"`
+	Count   uint32 `json:"count"`
+	Agg     string `json:"agg,omitempty"`
+}
+
+// FleetMemReadResult carries aggregated values and how many replicas
+// contributed.
+type FleetMemReadResult struct {
+	Values   []uint32 `json:"values"`
+	Replicas int      `json:"replicas"`
+	Agg      string   `json:"agg"`
+}
+
 // Metrics exposition formats accepted by MethodMetrics.
 const (
 	MetricsFormatPrometheus = "prometheus"

@@ -9,17 +9,45 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
 )
 
-// Server serves the control protocol over TCP for one Controller.
+// ErrRequestTooLarge reports a request line exceeding the server's bound.
+// It is sent back to the client verbatim before the connection closes.
+var ErrRequestTooLarge = errors.New("wire: request exceeds size limit")
+
+// Server limits. A stalled or malicious client must not pin a connection
+// goroutine: request lines are bounded, and once the first byte of a
+// request arrives the rest must follow within the read timeout. Waiting
+// for a request to *start* carries no deadline, so idle long-lived CLI
+// connections stay open.
+const (
+	DefaultMaxRequestBytes = 16 << 20
+	DefaultReadTimeout     = 30 * time.Second
+)
+
+// Handler serves one extension method (see Server.Handle).
+type Handler func(params json.RawMessage) (any, error)
+
+// Server serves the control protocol over TCP. It fronts either a single
+// Controller (the classic daemon) or, with a nil controller, only the
+// extension handlers registered via Handle plus the metrics verb — the
+// shape used by fleet mode.
 type Server struct {
 	ct  *controlplane.Controller
+	reg *obs.Registry
 	ln  net.Listener
 	log *obs.Logger
+
+	// MaxRequestBytes bounds one request line; ReadTimeout bounds how long
+	// a started request may take to arrive. Set before Listen; zero values
+	// select the defaults.
+	MaxRequestBytes int
+	ReadTimeout     time.Duration
 
 	cConns    *obs.Counter
 	gActive   *obs.Gauge
@@ -27,6 +55,7 @@ type Server struct {
 	cReqErrs  *obs.Counter
 
 	mu        sync.Mutex
+	handlers  map[string]Handler
 	conns     map[net.Conn]struct{}
 	done      chan struct{}
 	closeOnce sync.Once
@@ -35,22 +64,61 @@ type Server struct {
 // NewServer wraps a controller. logger may be nil for silence; log volume
 // and request outcomes are still counted in the controller's registry.
 func NewServer(ct *controlplane.Controller, logger *log.Logger) *Server {
-	reg := ct.Obs
+	return newServer(ct, ct.Obs, logger)
+}
+
+// NewBareServer builds a server with no controller: only extension
+// handlers (Handle) and the metrics verb over reg are served. Controller
+// methods answer with an error directing the caller to a single-switch
+// daemon.
+func NewBareServer(reg *obs.Registry, logger *log.Logger) *Server {
+	return newServer(nil, reg, logger)
+}
+
+func newServer(ct *controlplane.Controller, reg *obs.Registry, logger *log.Logger) *Server {
 	return &Server{
 		ct:        ct,
+		reg:       reg,
 		log:       obs.NewLogger(logger, reg, "wire"),
 		cConns:    reg.Counter("p4runpro_wire_connections_total", "TCP control connections accepted."),
 		gActive:   reg.Gauge("p4runpro_wire_connections_active", "TCP control connections currently open."),
 		cRequests: reg.Counter("p4runpro_wire_requests_total", "Control requests dispatched (all methods)."),
 		cReqErrs:  reg.Counter("p4runpro_wire_request_errors_total", "Control requests answered with an error."),
+		handlers:  make(map[string]Handler),
 		conns:     make(map[net.Conn]struct{}),
 		done:      make(chan struct{}),
 	}
 }
 
+// Handle registers an extension method (e.g. the fleet.* verbs), which
+// dispatch consults before the built-in verbs — an extension may
+// repurpose a built-in name (fleet mode serves its own "status"). It
+// panics on a duplicate registration.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.handlers[method]; ok {
+		panic(fmt.Sprintf("wire: handler for %q registered twice", method))
+	}
+	s.handlers[method] = h
+}
+
+func (s *Server) handler(method string) (Handler, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handlers[method]
+	return h, ok
+}
+
 // Listen binds addr ("host:port"; ":0" for an ephemeral port) and starts
 // accepting connections in the background.
 func (s *Server) Listen(addr string) (string, error) {
+	if s.MaxRequestBytes <= 0 {
+		s.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if s.ReadTimeout <= 0 {
+		s.ReadTimeout = DefaultReadTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -102,6 +170,31 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// readLine reads one newline-terminated request. The caller has already
+// confirmed a byte is pending; each buffered chunk must arrive within
+// timeout, and the accumulated line may not exceed max bytes.
+func readLine(conn net.Conn, br *bufio.Reader, max int, timeout time.Duration) ([]byte, error) {
+	var line []byte
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > max {
+			return nil, ErrRequestTooLarge
+		}
+		switch {
+		case err == nil:
+			return line[:len(line)-1], nil // strip '\n'
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		default:
+			return nil, err
+		}
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -111,11 +204,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	br := bufio.NewReaderSize(conn, 64<<10)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		line := sc.Bytes()
+	for {
+		// Block without a deadline until a request starts...
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return
+		}
+		if _, err := br.Peek(1); err != nil {
+			return
+		}
+		// ...then the rest of the line must keep arriving.
+		line, err := readLine(conn, br, s.MaxRequestBytes, s.ReadTimeout)
+		if err != nil {
+			if errors.Is(err, ErrRequestTooLarge) {
+				s.cRequests.Inc()
+				s.cReqErrs.Inc()
+				s.log.Errorf("wire: %s: %v", conn.RemoteAddr(), err)
+				enc.Encode(&Response{Error: err.Error()}) //nolint:errcheck // closing anyway
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.log.Errorf("wire: %s: request stalled past %v", conn.RemoteAddr(), s.ReadTimeout)
+			}
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -150,6 +261,37 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req Request) (any, error) {
+	if h, ok := s.handler(req.Method); ok {
+		return h(req.Params)
+	}
+	if req.Method == MethodMetrics {
+		var p MetricsParams
+		if len(req.Params) > 0 {
+			if err := json.Unmarshal(req.Params, &p); err != nil {
+				return nil, err
+			}
+		}
+		switch p.Format {
+		case "", MetricsFormatPrometheus:
+			return MetricsResult{Format: MetricsFormatPrometheus, Body: s.reg.Prometheus()}, nil
+		case MetricsFormatJSON:
+			body, err := s.reg.JSON()
+			if err != nil {
+				return nil, err
+			}
+			return MetricsResult{Format: MetricsFormatJSON, Body: string(body)}, nil
+		default:
+			return nil, fmt.Errorf("unknown metrics format %q", p.Format)
+		}
+	}
+	if s.ct == nil {
+		switch req.Method {
+		case MethodDeploy, MethodRevoke, MethodPrograms, MethodMemRead, MethodMemWrite,
+			MethodUtilization, MethodInject, MethodStatus, MethodAddCases, MethodRemoveCase, MethodMcastSet:
+			return nil, fmt.Errorf("method %q needs a single-switch daemon (this one serves a fleet; use the fleet.* verbs)", req.Method)
+		}
+		return nil, fmt.Errorf("unknown method %q", req.Method)
+	}
 	switch req.Method {
 	case MethodDeploy:
 		var p DeployParams
@@ -264,26 +406,6 @@ func (s *Server) dispatch(req Request) (any, error) {
 			return nil, err
 		}
 		return true, s.ct.RemoveCase(p.Program, p.BranchID)
-
-	case MethodMetrics:
-		var p MetricsParams
-		if len(req.Params) > 0 {
-			if err := json.Unmarshal(req.Params, &p); err != nil {
-				return nil, err
-			}
-		}
-		switch p.Format {
-		case "", MetricsFormatPrometheus:
-			return MetricsResult{Format: MetricsFormatPrometheus, Body: s.ct.Obs.Prometheus()}, nil
-		case MetricsFormatJSON:
-			body, err := s.ct.Obs.JSON()
-			if err != nil {
-				return nil, err
-			}
-			return MetricsResult{Format: MetricsFormatJSON, Body: string(body)}, nil
-		default:
-			return nil, fmt.Errorf("unknown metrics format %q", p.Format)
-		}
 
 	case MethodMcastSet:
 		var p McastSetParams
