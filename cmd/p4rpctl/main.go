@@ -11,6 +11,7 @@
 //	p4rpctl [-addr host:9800] util
 //	p4rpctl [-addr host:9800] memread <program> <mem> <addr> [count]
 //	p4rpctl [-addr host:9800] memwrite <program> <mem> <addr> <value>
+//	p4rpctl [-addr host:9800] snapshot
 //	p4rpctl [-addr host:9800] metrics [json]
 //
 // Against a fleet daemon (p4rpd -fleet N):
@@ -130,6 +131,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	case "snapshot":
+		res, err := c.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot committed: wal=%s segment=%dB\n", res.WalDir, res.SegmentBytes)
 	case "metrics":
 		format := ""
 		if len(args) > 1 {
@@ -275,6 +282,7 @@ commands:
   addcase <prog> <branch-depth> <file>     add case blocks to a running program
   removecase <prog> <branch-id>            remove a runtime-added case
   mcast <group> <port>...                  configure a multicast group
+  snapshot                                 commit a journal snapshot and compact the WAL
   metrics [json]                           scrape the daemon's metrics registry
 fleet commands (against p4rpd -fleet):
   fleet deploy <file.p4rp> [replicas]      place a unit on the fleet

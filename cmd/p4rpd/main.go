@@ -2,14 +2,23 @@
 // serves the control protocol over TCP — the counterpart of running the
 // prototype's control plane on the switch CPU.
 //
+// With -wal DIR the control plane is durable: every mutation is journaled
+// to a write-ahead log under DIR before it is applied, boot recovers the
+// previous state by snapshot-load + replay, and an orderly shutdown
+// (SIGINT/SIGTERM) flushes and closes the journal so even the sync-interval
+// tail survives. `p4rpctl snapshot` compacts the log at runtime.
+//
 // With -fleet N it instead provisions N member switches behind one fleet
 // controller (placement, health checking, failover) and serves the fleet.*
 // verbs — one daemon standing in for a sharded multi-switch deployment.
+// Combined with -wal, each member journals into its own subdirectory
+// (DIR/m1, DIR/m2, ...), and a restarted daemon recovers every member's
+// programs instead of rebooting the fleet blank.
 //
 // Usage:
 //
-//	p4rpd [-listen :9800] [-r N]
-//	p4rpd [-listen :9800] [-r N] -fleet 3 [-replicas 2]
+//	p4rpd [-listen :9800] [-r N] [-wal DIR] [-wal-sync always|interval|none]
+//	p4rpd [-listen :9800] [-r N] [-wal DIR] -fleet 3 [-replicas 2]
 package main
 
 import (
@@ -18,10 +27,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
 	"p4runpro/internal/fleet"
+	"p4runpro/internal/journal"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/wire"
 )
@@ -31,11 +44,41 @@ func main() {
 	maxR := flag.Int("r", 1, "maximum recirculation iterations")
 	fleetN := flag.Int("fleet", 0, "run a fleet of N member switches instead of a single switch")
 	replicas := flag.Int("replicas", 1, "fleet mode: default replicas per deployed unit")
+	walDir := flag.String("wal", "", "write-ahead journal directory (empty disables durability)")
+	walSync := flag.String("wal-sync", "always", "journal sync policy: always, interval, or none")
+	walSyncIvl := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence for -wal-sync interval")
 	flag.Parse()
 
 	opt := core.DefaultOptions()
 	opt.MaxRecirc = *maxR
 	logger := log.New(os.Stderr, "p4rpd: ", log.LstdFlags)
+
+	var jopt journal.Options
+	if *walDir != "" {
+		pol, err := journal.ParsePolicy(*walSync)
+		if err != nil {
+			log.Fatalf("p4rpd: %v", err)
+		}
+		jopt = journal.Options{Sync: pol, SyncInterval: *walSyncIvl}
+	}
+
+	// newController builds one control plane, recovering from (and attaching)
+	// a journal under dir when -wal is set.
+	newController := func(dir string) (*controlplane.Controller, error) {
+		if *walDir == "" {
+			return controlplane.New(rmt.DefaultConfig(), opt)
+		}
+		return controlplane.Recover(dir, rmt.DefaultConfig(), opt, jopt)
+	}
+
+	// journals collects every attached journal so shutdown can flush them.
+	var journals []*journal.Journal
+	track := func(ct *controlplane.Controller) *controlplane.Controller {
+		if j := ct.Journal(); j != nil {
+			journals = append(journals, j)
+		}
+		return ct
+	}
 
 	var srv *wire.Server
 	if *fleetN > 0 {
@@ -45,12 +88,16 @@ func main() {
 			Logger:         logger,
 		})
 		for i := 0; i < *fleetN; i++ {
-			ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+			name := fmt.Sprintf("m%d", i+1)
+			ct, err := newController(filepath.Join(*walDir, name))
 			if err != nil {
 				log.Fatalf("p4rpd: provision member %d: %v", i+1, err)
 			}
-			if err := f.AddMember(fmt.Sprintf("m%d", i+1), fleet.Local(ct)); err != nil {
+			if err := f.AddMember(name, fleet.Local(track(ct))); err != nil {
 				log.Fatalf("p4rpd: add member %d: %v", i+1, err)
+			}
+			if n := len(ct.Programs()); n > 0 {
+				logger.Printf("member %s recovered %d programs from journal", name, n)
 			}
 		}
 		f.Start()
@@ -64,22 +111,34 @@ func main() {
 			*fleetN, *replicas, addr)
 		fmt.Println("p4rpd: drive it with `p4rpctl fleet ...`; metrics via `p4rpctl metrics`")
 	} else {
-		ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+		ct, err := newController(*walDir)
 		if err != nil {
 			log.Fatalf("p4rpd: provision: %v", err)
 		}
+		track(ct)
 		srv = wire.NewServer(ct, logger)
 		addr, err := srv.Listen(*listen)
 		if err != nil {
 			log.Fatalf("p4rpd: listen: %v", err)
 		}
 		fmt.Printf("p4rpd: switch provisioned (%d RPBs), control plane on %s\n", ct.Plane.M, addr)
+		if *walDir != "" {
+			fmt.Printf("p4rpd: journaling to %s (sync=%s); %d programs recovered\n",
+				*walDir, *walSync, len(ct.Programs()))
+		}
 		fmt.Println("p4rpd: metrics served via `p4rpctl metrics` (Prometheus text or json)")
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("p4rpd: shutting down")
 	srv.Close()
+	// Flush and close every journal so an orderly stop never loses the
+	// sync-interval tail.
+	for _, j := range journals {
+		if err := j.Close(); err != nil {
+			logger.Printf("journal %s: close: %v", j.Dir(), err)
+		}
+	}
 }

@@ -7,12 +7,14 @@
 package controlplane
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"p4runpro/internal/core"
 	"p4runpro/internal/costmodel"
 	"p4runpro/internal/dataplane"
+	"p4runpro/internal/journal"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/rmt"
@@ -24,6 +26,12 @@ type Controller struct {
 	SW       *rmt.Switch
 	Plane    *dataplane.Plane
 	Compiler *core.Compiler
+
+	// jrn, when non-nil, is the attached write-ahead journal state (see
+	// journal.go): every mutating operation is journaled before it is
+	// applied. Nil when the controller runs without durability — then the
+	// mutation paths are exactly as cheap as before the journal existed.
+	jrn *jstate
 
 	// Obs is the controller's metrics registry: operation latencies and
 	// outcomes recorded here, compiler/solver histograms wired through
@@ -71,9 +79,40 @@ type DeployReport struct {
 }
 
 // Deploy links every program in src and returns one report per program.
+// Deployment is atomic per source blob: if any program fails to link, the
+// programs linked earlier from the same source are unlinked before Deploy
+// returns, so the blob — the unit the fleet places and fails over together
+// — is never left half-deployed.
 func (ct *Controller) Deploy(src string) ([]DeployReport, error) {
+	if ct.jrn == nil {
+		return ct.applyDeploy(src)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	if err := ct.jrn.append(journal.Record{Op: journal.OpDeploy, Source: src}); err != nil {
+		return nil, err
+	}
+	reports, err := ct.applyDeploy(src)
+	if err == nil {
+		ct.jrn.trackDeploy(src, reports)
+	}
+	return reports, err
+}
+
+func (ct *Controller) applyDeploy(src string) ([]DeployReport, error) {
 	start := time.Now()
 	lps, err := ct.Compiler.Link(src)
+	if err != nil {
+		// Unwind the blob: unlink whatever part of it already made it onto
+		// the data plane, newest first, so no partial deployment survives.
+		for i := len(lps) - 1; i >= 0; i-- {
+			if _, rerr := ct.Compiler.Revoke(lps[i].Name); rerr != nil {
+				err = errors.Join(err, fmt.Errorf("unwinding %s: %w", lps[i].Name, rerr))
+			}
+		}
+		observeOp(ct.mDeployNs, ct.cDeployOK, ct.cDeployErr, start, err)
+		return nil, err
+	}
 	reports := make([]DeployReport, 0, len(lps))
 	for _, lp := range lps {
 		upd := costmodel.LinkUpdateDelay(lp.Stats.EntryCount)
@@ -104,6 +143,22 @@ type RevokeReport struct {
 
 // Revoke unlinks a program with consistent deletion ordering.
 func (ct *Controller) Revoke(name string) (RevokeReport, error) {
+	if ct.jrn == nil {
+		return ct.applyRevoke(name)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	if err := ct.jrn.append(journal.Record{Op: journal.OpRevoke, Name: name}); err != nil {
+		return RevokeReport{}, err
+	}
+	rep, err := ct.applyRevoke(name)
+	if err == nil {
+		ct.jrn.trackRevoke(name)
+	}
+	return rep, err
+}
+
+func (ct *Controller) applyRevoke(name string) (RevokeReport, error) {
 	start := time.Now()
 	st, err := ct.Compiler.Revoke(name)
 	observeOp(ct.mRevokeNs, ct.cRevokeOK, ct.cRevokeErr, start, err)
@@ -122,6 +177,23 @@ func (ct *Controller) Revoke(name string) (RevokeReport, error) {
 // case blocks (incremental update, paper §7), returning modeled update
 // delay alongside the new branch IDs.
 func (ct *Controller) AddCases(program string, branchDepth int, src string) ([]core.AddedCase, time.Duration, error) {
+	if ct.jrn == nil {
+		return ct.applyAddCases(program, branchDepth, src)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	rec := journal.Record{Op: journal.OpAddCases, Program: program, BranchDepth: branchDepth, Source: src}
+	if err := ct.jrn.append(rec); err != nil {
+		return nil, 0, err
+	}
+	added, upd, err := ct.applyAddCases(program, branchDepth, src)
+	if err == nil {
+		ct.jrn.trackCaseOp(program, rec)
+	}
+	return added, upd, err
+}
+
+func (ct *Controller) applyAddCases(program string, branchDepth int, src string) ([]core.AddedCase, time.Duration, error) {
 	added, err := ct.Compiler.AddCases(program, branchDepth, src)
 	entries := 0
 	for _, a := range added {
@@ -132,18 +204,56 @@ func (ct *Controller) AddCases(program string, branchDepth int, src string) ([]c
 
 // RemoveCase deletes a runtime-added case branch from a running program.
 func (ct *Controller) RemoveCase(program string, branchID int) error {
-	return ct.Compiler.RemoveCase(program, branchID)
+	if ct.jrn == nil {
+		return ct.Compiler.RemoveCase(program, branchID)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	rec := journal.Record{Op: journal.OpRemoveCase, Program: program, BranchID: branchID}
+	if err := ct.jrn.append(rec); err != nil {
+		return err
+	}
+	err := ct.Compiler.RemoveCase(program, branchID)
+	if err == nil {
+		ct.jrn.trackCaseOp(program, rec)
+	}
+	return err
 }
 
 // SetMulticastGroup configures the traffic manager's replication list for
-// the MULTICAST primitive.
-func (ct *Controller) SetMulticastGroup(group int, ports []int) {
+// the MULTICAST primitive. The only possible failure is a journal append
+// rejection; without a journal it always succeeds.
+func (ct *Controller) SetMulticastGroup(group int, ports []int) error {
+	if ct.jrn == nil {
+		ct.SW.SetMulticastGroup(group, ports)
+		return nil
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	if err := ct.jrn.append(journal.Record{Op: journal.OpMcastSet, Group: group, Ports: ports}); err != nil {
+		return err
+	}
 	ct.SW.SetMulticastGroup(group, ports)
+	ct.jrn.trackMcast(group, ports)
+	return nil
 }
 
 // WriteMemory writes one virtual memory bucket of a linked program,
 // translating the virtual address to its physical RPB and offset.
-func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) (err error) {
+func (ct *Controller) WriteMemory(program, mem string, vaddr, value uint32) error {
+	if ct.jrn == nil {
+		return ct.applyWriteMemory(program, mem, vaddr, value)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	rec := journal.Record{Op: journal.OpMemWrite, Program: program, Mem: mem, Addr: vaddr, Value: value}
+	if err := ct.jrn.append(rec); err != nil {
+		return err
+	}
+	return ct.applyWriteMemory(program, mem, vaddr, value)
+}
+
+func (ct *Controller) applyWriteMemory(program, mem string, vaddr, value uint32) (err error) {
 	start := time.Now()
 	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err) }()
 	rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, vaddr)

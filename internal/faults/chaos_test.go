@@ -1,0 +1,299 @@
+// Chaos tests: arm every registered fault point in turn, run a workload
+// through the full stack (journaled control plane behind a wire server),
+// and assert the durability invariants hold — a clean error surfaces, no
+// partially-linked program is ever visible, every RPB resource is released
+// on failure, the operation succeeds once the fault clears, and recovery
+// from the write-ahead journal after a simulated crash reproduces the
+// applied state exactly.
+//
+// The external test package lets these tests import controlplane, wire,
+// and journal (which all import faults) without a cycle.
+package faults_test
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/faults"
+	"p4runpro/internal/journal"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/wire"
+)
+
+// chaosSrcA is the pre-fault workload: one program with memory.
+const chaosSrcA = `
+@ amem 128
+program chaosa(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(amem);
+    MEMADD(amem);
+}
+`
+
+// chaosSrcB is the blob deployed under fault: two programs in one source,
+// so a mid-blob failure exercises the atomic multi-program unwind.
+const chaosSrcB = `
+@ bmem 128
+program chaosb1(<hdr.ipv4.src, 11.0.0.0, 0xff000000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bmem);
+    MEMADD(bmem);
+}
+
+program chaosb2(<hdr.ipv4.src, 12.0.0.0, 0xff000000>) {
+    DROP;
+}
+`
+
+// digest returns the comparable image of control-plane state. ProgramID is
+// zeroed: a deploy that failed live but replays clean (the fault is gone on
+// recovery) may shift ID allocation order without changing behavior.
+func digest(ct *controlplane.Controller) (progs []controlplane.ProgramInfo, util any) {
+	progs = ct.Programs()
+	for i := range progs {
+		progs[i].ProgramID = 0
+	}
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name < progs[j].Name })
+	return progs, ct.Utilization()
+}
+
+func hasProgram(ct *controlplane.Controller, name string) bool {
+	for _, pi := range ct.Programs() {
+		if pi.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func recoverController(t *testing.T, dir string) *controlplane.Controller {
+	t.Helper()
+	ct, err := controlplane.Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(),
+		journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatalf("recover %s: %v", dir, err)
+	}
+	return ct
+}
+
+// TestChaosEveryPoint iterates the whole fault registry. For each point a
+// fresh journaled daemon stack is built, one program is deployed cleanly,
+// the point is armed to fail its next hit, and a two-program blob is
+// deployed through the wire client.
+func TestChaosEveryPoint(t *testing.T) {
+	// The registry also holds "test.*" fixture points registered by the
+	// faults package's own unit tests; no production code checks those.
+	points := make([]string, 0, 5)
+	for _, name := range faults.Points() {
+		if !strings.HasPrefix(name, "test.") {
+			points = append(points, name)
+		}
+	}
+	if len(points) < 5 {
+		t.Fatalf("registry has %d production points, want at least 5: %v", len(points), points)
+	}
+	for _, name := range points {
+		t.Run(name, func(t *testing.T) {
+			defer faults.DisarmAll()
+			pt, ok := faults.Lookup(name)
+			if !ok {
+				t.Fatalf("point %s vanished", name)
+			}
+
+			dir := t.TempDir()
+			ct := recoverController(t, dir)
+			srv := wire.NewServer(ct, nil)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := wire.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			if _, err := cl.Deploy(chaosSrcA); err != nil {
+				t.Fatalf("pre-fault deploy: %v", err)
+			}
+			baseProgs, baseUtil := digest(ct)
+
+			// Arm and attempt the blob deploy. wire.conn.* faults kill the
+			// connection (the request may or may not have been dispatched);
+			// the in-process faults surface the injected error verbatim.
+			pt.FailNth(1, nil)
+			_, err = cl.Deploy(chaosSrcB)
+			if err == nil {
+				t.Fatal("deploy under fault reported success")
+			}
+			transport := strings.HasPrefix(name, "wire.conn.")
+			if !transport && !strings.Contains(err.Error(), "injected failure") {
+				t.Fatalf("error lost the injected cause: %v", err)
+			}
+
+			// Invariant: the blob is atomic. Either both programs linked
+			// (the response was lost after dispatch) or neither did —
+			// a partially-linked blob must never be visible.
+			b1, b2 := hasProgram(ct, "chaosb1"), hasProgram(ct, "chaosb2")
+			if b1 != b2 {
+				t.Fatalf("partial blob visible: chaosb1=%v chaosb2=%v", b1, b2)
+			}
+			applied := b1
+			if applied && name != "wire.conn.write" {
+				t.Fatalf("point %s applied the blob despite failing", name)
+			}
+
+			// Invariant: a failed deploy releases every resource.
+			if !applied {
+				progs, util := digest(ct)
+				if !reflect.DeepEqual(progs, baseProgs) {
+					t.Fatalf("programs changed by failed deploy: %v != %v", progs, baseProgs)
+				}
+				if !reflect.DeepEqual(util, baseUtil) {
+					t.Fatalf("resources leaked by failed deploy:\n got %v\nwant %v", util, baseUtil)
+				}
+			}
+
+			// Invariant: the fault is transient — disarm and the same
+			// operation succeeds on a fresh attempt (the client reconnects
+			// transparently after a killed connection).
+			faults.DisarmAll()
+			if !applied {
+				if _, err := cl.Deploy(chaosSrcB); err != nil {
+					t.Fatalf("retry after disarm: %v", err)
+				}
+			}
+			if err := cl.WriteMemory("chaosa", "amem", 3, 77); err != nil {
+				t.Fatalf("post-fault memwrite: %v", err)
+			}
+
+			// Invariant: crash now (no orderly close) and recovery replays
+			// the journal to exactly the live state — the applied prefix,
+			// nothing more, nothing less.
+			liveProgs, liveUtil := digest(ct)
+			rec := recoverController(t, dir)
+			recProgs, recUtil := digest(rec)
+			if !reflect.DeepEqual(recProgs, liveProgs) {
+				t.Fatalf("recovered programs diverge:\n got %+v\nwant %+v", recProgs, liveProgs)
+			}
+			if !reflect.DeepEqual(recUtil, liveUtil) {
+				t.Fatalf("recovered utilization diverges:\n got %v\nwant %v", recUtil, liveUtil)
+			}
+			v, err := rec.ReadMemory("chaosa", "amem", 3)
+			if err != nil || v != 77 {
+				t.Fatalf("recovered memory word = %d, %v; want 77", v, err)
+			}
+		})
+	}
+}
+
+// TestChaosInsertFailureAtEveryEntry fails table-entry installation at
+// every position of a two-program blob's install sequence in turn. Each
+// failure must surface, leave no program visible, release every entry and
+// memory word, and permit an immediately successful retry.
+func TestChaosInsertFailureAtEveryEntry(t *testing.T) {
+	pt, ok := faults.Lookup("rmt.table.insert")
+	if !ok {
+		t.Fatal("rmt.table.insert not registered")
+	}
+	defer faults.DisarmAll()
+
+	// Count the blob's insert sites with an unreachable nth armed (hits
+	// are only counted while armed).
+	probe, err := controlplane.New(rmt.DefaultConfig(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.FailNth(1<<62, nil)
+	if _, err := probe.Deploy(chaosSrcB); err != nil {
+		t.Fatalf("probe deploy: %v", err)
+	}
+	total := int(pt.Hits())
+	faults.DisarmAll()
+	if total < 2 {
+		t.Fatalf("blob installs only %d entries; sweep needs at least 2", total)
+	}
+
+	for nth := 1; nth <= total; nth++ {
+		ct, err := controlplane.New(rmt.DefaultConfig(), core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline := ct.Utilization()
+
+		pt.FailNth(uint64(nth), nil)
+		_, err = ct.Deploy(chaosSrcB)
+		faults.DisarmAll()
+		if err == nil {
+			t.Fatalf("nth=%d: deploy succeeded under fault", nth)
+		}
+		if !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("nth=%d: error chain lost ErrInjected: %v", nth, err)
+		}
+		if n := len(ct.Programs()); n != 0 {
+			t.Fatalf("nth=%d: %d programs visible after failed blob", nth, n)
+		}
+		if util := ct.Utilization(); !reflect.DeepEqual(util, baseline) {
+			t.Fatalf("nth=%d: resources leaked:\n got %v\nwant %v", nth, util, baseline)
+		}
+		if _, err := ct.Deploy(chaosSrcB); err != nil {
+			t.Fatalf("nth=%d: retry after disarm: %v", nth, err)
+		}
+	}
+}
+
+// TestChaosSeededJournalFaults drives a burst of memory writes with the
+// journal's append point failing pseudo-randomly from a fixed seed, then
+// crashes and recovers. The recovered memory must match the live image
+// word for word: every write that reported success survived, every write
+// that reported failure left no trace.
+func TestChaosSeededJournalFaults(t *testing.T) {
+	pt, ok := faults.Lookup("journal.append")
+	if !ok {
+		t.Fatal("journal.append not registered")
+	}
+	defer faults.DisarmAll()
+
+	dir := t.TempDir()
+	ct := recoverController(t, dir)
+	if _, err := ct.Deploy(chaosSrcA); err != nil {
+		t.Fatal(err)
+	}
+
+	pt.FailSeeded(42, 0.4, nil)
+	okN, failN := 0, 0
+	for i := 0; i < 48; i++ {
+		err := ct.WriteMemory("chaosa", "amem", uint32(i%128), uint32(i+1))
+		if err != nil {
+			if !strings.Contains(err.Error(), "injected failure") {
+				t.Fatalf("write %d: unexpected error: %v", i, err)
+			}
+			failN++
+		} else {
+			okN++
+		}
+	}
+	faults.DisarmAll()
+	if okN == 0 || failN == 0 {
+		t.Fatalf("seed produced no mix of outcomes: ok=%d fail=%d", okN, failN)
+	}
+
+	live, err := ct.ReadMemoryRange("chaosa", "amem", 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverController(t, dir)
+	got, err := rec.ReadMemoryRange("chaosa", "amem", 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, live) {
+		t.Fatalf("recovered memory diverges from live image:\n got %v\nwant %v", got, live)
+	}
+}

@@ -1,0 +1,180 @@
+// Package faults is a deterministic fault-injection registry for chaos
+// testing the control plane's failure paths. Subsystems declare named
+// injection points at init time (table entry insertion, journal append and
+// sync, wire connection read/write); production code calls Point.Check on
+// the guarded operation and propagates the returned error as if the real
+// operation had failed. Tests arm points — fail exactly the nth hit, fail
+// every hit, or fail pseudo-randomly from a fixed seed — run a workload,
+// and assert the system's invariants hold (no partial state visible,
+// resources released, recovery yields a prefix).
+//
+// The disabled path is one atomic load of a package-level flag, so leaving
+// the points compiled into production code costs nothing measurable; no
+// point does any work until something is armed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by an armed point with no custom
+// error. Chaos tests match it with errors.Is through whatever wrapping the
+// failure path applies.
+var ErrInjected = errors.New("faults: injected failure")
+
+// armed counts currently armed points across the whole registry. It gates
+// the hot path: when zero, Check returns without touching the point.
+var armed atomic.Int64
+
+// plan is one point's arming. A nil plan pointer means disarmed.
+type plan struct {
+	// failOn, when > 0, fails exactly the failOn-th Check after arming
+	// (1-based); every other hit passes.
+	failOn uint64
+	// every fails all hits (used when failOn == 0 and rng == nil).
+	every bool
+	// rng, when set, fails each hit with probability prob — deterministic
+	// for a given seed and hit sequence.
+	rng  *rand.Rand
+	prob float64
+	err  error
+}
+
+// Point is one named injection site. Obtain points with Register at
+// package init; the returned pointer is what production code checks.
+type Point struct {
+	name string
+
+	mu   sync.Mutex // guards pl swaps and rng draws
+	pl   atomic.Pointer[plan]
+	hits atomic.Uint64 // hits since arming
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Check reports the injected error when the point is armed and this hit is
+// selected, nil otherwise. It is safe for concurrent use.
+func (p *Point) Check() error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	pl := p.pl.Load()
+	if pl == nil {
+		return nil
+	}
+	n := p.hits.Add(1)
+	switch {
+	case pl.failOn > 0:
+		if n != pl.failOn {
+			return nil
+		}
+	case pl.rng != nil:
+		p.mu.Lock()
+		miss := pl.rng.Float64() >= pl.prob
+		p.mu.Unlock()
+		if miss {
+			return nil
+		}
+	case !pl.every:
+		return nil
+	}
+	return pl.err
+}
+
+// arm installs a plan, resetting the hit counter.
+func (p *Point) arm(pl *plan) {
+	if pl.err == nil {
+		pl.err = fmt.Errorf("%w at %s", ErrInjected, p.name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pl.Swap(pl) == nil {
+		armed.Add(1)
+	}
+	p.hits.Store(0)
+}
+
+// FailNth arms the point to fail exactly the nth Check (1-based) after
+// this call; all other hits pass. err may be nil for ErrInjected.
+func (p *Point) FailNth(n uint64, err error) { p.arm(&plan{failOn: n, err: err}) }
+
+// FailAll arms the point to fail every Check until disarmed.
+func (p *Point) FailAll(err error) { p.arm(&plan{every: true, err: err}) }
+
+// FailSeeded arms the point to fail each Check with probability prob,
+// drawn from a PRNG seeded with seed — the same seed and hit sequence
+// always select the same failures.
+func (p *Point) FailSeeded(seed int64, prob float64, err error) {
+	p.arm(&plan{rng: rand.New(rand.NewSource(seed)), prob: prob, err: err})
+}
+
+// Disarm clears the point's plan.
+func (p *Point) Disarm() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pl.Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// Hits returns the number of Checks since the point was last armed.
+func (p *Point) Hits() uint64 { return p.hits.Load() }
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]*Point)
+)
+
+// Register declares (or returns the existing) injection point under name.
+// Call once per site, from package init or a var declaration, and hold the
+// returned pointer.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := registry[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry[name] = p
+	return p
+}
+
+// Lookup finds a registered point by name.
+func Lookup(name string) (*Point, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Points lists every registered point name, sorted — chaos tests iterate
+// this to prove each failure path holds its invariants.
+func Points() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DisarmAll clears every armed point (test cleanup).
+func DisarmAll() {
+	regMu.Lock()
+	pts := make([]*Point, 0, len(registry))
+	for _, p := range registry {
+		pts = append(pts, p)
+	}
+	regMu.Unlock()
+	for _, p := range pts {
+		p.Disarm()
+	}
+}

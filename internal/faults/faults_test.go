@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedPointIsFree(t *testing.T) {
+	p := Register("test.free")
+	for i := 0; i < 100; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("disarmed point counted %d hits", p.Hits())
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	p := Register("test.nth")
+	defer p.Disarm()
+	p.FailNth(3, nil)
+	for i := 1; i <= 5; i++ {
+		err := p.Check()
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d fired: %v", i, err)
+		}
+	}
+	if p.Hits() != 5 {
+		t.Fatalf("hits = %d, want 5", p.Hits())
+	}
+}
+
+func TestFailAllAndCustomError(t *testing.T) {
+	p := Register("test.all")
+	defer p.Disarm()
+	custom := errors.New("disk on fire")
+	p.FailAll(custom)
+	for i := 0; i < 3; i++ {
+		if err := p.Check(); !errors.Is(err, custom) {
+			t.Fatalf("err = %v, want custom", err)
+		}
+	}
+	p.Disarm()
+	if err := p.Check(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestFailSeededIsDeterministic(t *testing.T) {
+	p := Register("test.seeded")
+	defer p.Disarm()
+	run := func() []bool {
+		p.FailSeeded(42, 0.5, nil)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Check() != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("seeded plan fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestRegisterIsIdempotentAndListed(t *testing.T) {
+	a := Register("test.idem")
+	b := Register("test.idem")
+	if a != b {
+		t.Fatal("Register returned distinct points for one name")
+	}
+	found := false
+	for _, n := range Points() {
+		if n == "test.idem" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered point missing from Points()")
+	}
+	if p, ok := Lookup("test.idem"); !ok || p != a {
+		t.Fatal("Lookup disagreed with Register")
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	p := Register("test.concurrent")
+	defer p.Disarm()
+	p.FailNth(500, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if p.Check() != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != 1 {
+		t.Fatalf("nth-hit plan fired %d times under concurrency, want 1", injected)
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	p := Register("test.disarmall")
+	p.FailAll(nil)
+	DisarmAll()
+	if err := p.Check(); err != nil {
+		t.Fatalf("point still armed after DisarmAll: %v", err)
+	}
+}

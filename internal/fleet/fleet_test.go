@@ -10,6 +10,7 @@ import (
 
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
+	"p4runpro/internal/journal"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/wire"
@@ -433,5 +434,87 @@ func TestStartStopIdempotent(t *testing.T) {
 	f.Stop() // second stop is a no-op
 	if !strings.Contains(f.String(), "1 members (1 healthy") {
 		t.Errorf("status = %s", f.String())
+	}
+}
+
+// TestReconcileAdoptsRejoinedMember proves the durability story end to end
+// at the fleet layer: a journaled member crashes, its unit drops below the
+// replica target (no spare member to take the slot), and when the member
+// rejoins — its control plane rebuilt from the write-ahead journal —
+// reconciliation adopts the intact copy instead of revoking it as an
+// orphan and re-deploying.
+func TestReconcileAdoptsRejoinedMember(t *testing.T) {
+	dir := t.TempDir()
+	ct1, err := controlplane.Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(),
+		journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyBackend{Backend: Local(ct1)}
+	f := New(Options{Policy: ReplicateK{K: 2}, DownAfter: 3})
+	if err := f.AddMember("m1", flaky); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddMember("m2", Local(newLocalMember(t))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Deploy(counterSrc, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash m1: probes trip the state machine, reconcile drops the replica
+	// and cannot re-place it (m2 already holds the unit; no third member).
+	flaky.dead.Store(true)
+	m1, _ := f.member("m1")
+	for i := 0; i < 3; i++ {
+		f.probe(m1)
+	}
+	if got := f.stateOf(m1); got != Down {
+		t.Fatalf("state after crash = %v", got)
+	}
+	f.Reconcile()
+	if u, _ := f.store.Resolve("counter"); len(u.Members) != 1 || u.hasMember("m1") {
+		t.Fatalf("unit during outage = %v, want [m2]", u.Members)
+	}
+
+	// Restart m1 from its journal: the recovered control plane holds the
+	// program without any fleet action.
+	if err := ct1.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := controlplane.Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(),
+		journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.Programs()); n != 1 {
+		t.Fatalf("recovered member has %d programs, want 1", n)
+	}
+	flaky.Backend = Local(rec)
+	flaky.dead.Store(false)
+	f.probe(m1)
+	if got := f.stateOf(m1); got != Healthy {
+		t.Fatalf("state after rejoin = %v", got)
+	}
+
+	// Reconcile adopts the intact copy: the unit is back at 2/2 with m1
+	// assigned, the recovered program was neither revoked nor re-deployed.
+	f.Reconcile()
+	u, _ := f.store.Resolve("counter")
+	if len(u.Members) != 2 || !u.hasMember("m1") || !u.hasMember("m2") {
+		t.Fatalf("unit after rejoin = %v, want [m1 m2]", u.Members)
+	}
+	if n := len(rec.Programs()); n != 1 {
+		t.Fatalf("recovered copy revoked: member has %d programs", n)
+	}
+	scrape := f.Obs.Prometheus()
+	if !strings.Contains(scrape, `p4runpro_fleet_reconcile_actions_total{action="adopt"} 1`) {
+		t.Error("scrape missing adoption counter")
+	}
+	if !strings.Contains(scrape, `p4runpro_fleet_reconcile_actions_total{action="deploy"} 0`) {
+		t.Error("adoption should not re-deploy")
+	}
+	if !strings.Contains(scrape, `p4runpro_fleet_reconcile_actions_total{action="revoke"} 0`) {
+		t.Error("adoption should not revoke the survivor")
 	}
 }

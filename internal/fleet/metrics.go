@@ -14,6 +14,7 @@ type fleetMetrics struct {
 	cReconcileRuns         *obs.Counter
 	cReconcileDeploys      *obs.Counter
 	cReconcileRevokes      *obs.Counter
+	cReconcileAdoptions    *obs.Counter
 	cDeployOK, cDeployErr  *obs.Counter
 	cRevokeOK, cRevokeErr  *obs.Counter
 	hPlacementNs           *obs.Histogram
@@ -33,6 +34,8 @@ func (f *Fleet) initMetrics() {
 		"Corrective actions taken by reconciliation.", obs.L("action", "deploy"))
 	f.m.cReconcileRevokes = reg.Counter("p4runpro_fleet_reconcile_actions_total",
 		"Corrective actions taken by reconciliation.", obs.L("action", "revoke"))
+	f.m.cReconcileAdoptions = reg.Counter("p4runpro_fleet_reconcile_actions_total",
+		"Corrective actions taken by reconciliation.", obs.L("action", "adopt"))
 	f.m.cDeployOK = reg.Counter("p4runpro_fleet_deploys_total", "Fleet deploy calls by outcome.", obs.L("outcome", "ok"))
 	f.m.cDeployErr = reg.Counter("p4runpro_fleet_deploys_total", "Fleet deploy calls by outcome.", obs.L("outcome", "error"))
 	f.m.cRevokeOK = reg.Counter("p4runpro_fleet_revokes_total", "Fleet revoke calls by outcome.", obs.L("outcome", "ok"))

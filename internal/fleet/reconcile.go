@@ -126,6 +126,41 @@ func (f *Fleet) Reconcile() {
 		}
 		assigned = kept
 
+		// Adopt rejoined members that already hold the whole unit — e.g. a
+		// member that recovered its programs from a write-ahead journal
+		// after a crash. Adopting re-uses the intact copy; without this the
+		// top-up would fill the slot elsewhere and the orphan sweep would
+		// revoke the survivor. Iterate in member order for determinism.
+		if len(assigned) < u.Replicas && len(u.Programs) > 0 {
+			inUnit := make(map[string]bool, len(assigned))
+			for _, n := range assigned {
+				inUnit[n] = true
+			}
+			for _, name := range names {
+				if len(assigned) >= u.Replicas {
+					break
+				}
+				l, ok := listings[name]
+				if !ok || inUnit[name] {
+					continue
+				}
+				complete := true
+				for _, p := range u.Programs {
+					if !l.programs[p] {
+						complete = false
+						break
+					}
+				}
+				if !complete {
+					continue
+				}
+				assigned = append(assigned, name)
+				inUnit[name] = true
+				f.m.cReconcileAdoptions.Inc()
+				f.log.Infof("fleet: unit %s adopted intact copy on rejoined member %s", u.Key, name)
+			}
+		}
+
 		// Top up to the replica target.
 		if len(assigned) < u.Replicas {
 			skip := make(map[string]bool, len(assigned))

@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzJournalDecode drives DecodeFrame with arbitrary bytes. Properties:
+// it never panics, never reports consuming more bytes than it was given,
+// classifies every outcome as success / io.EOF / ErrTorn / ErrCorrupt, and
+// any record it accepts survives an encode/decode round trip unchanged.
+func FuzzJournalDecode(f *testing.F) {
+	// Valid frames for every op.
+	for _, rec := range sampleRecords() {
+		frame, err := EncodeRecord(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// Torn variants: header only, and mid-payload cuts.
+		f.Add(frame[:headerBytes])
+		f.Add(frame[:len(frame)-1])
+		f.Add(frame[:headerBytes/2])
+		// Corrupt variant: flipped payload bit.
+		bad := append([]byte(nil), frame...)
+		bad[len(bad)-1] ^= 0x40
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeFrame(b)
+		if n < 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		switch {
+		case err == nil:
+			if n < headerBytes {
+				t.Fatalf("success consumed only %d bytes", n)
+			}
+			again, err := EncodeRecord(rec)
+			if err != nil {
+				t.Fatalf("accepted record does not re-encode: %v", err)
+			}
+			rec2, _, err := DecodeFrame(again)
+			if err != nil {
+				t.Fatalf("re-encoded record does not decode: %v", err)
+			}
+			b2, _ := EncodeRecord(rec2)
+			if !bytes.Equal(again, b2) {
+				t.Fatalf("round trip unstable: %x != %x", again, b2)
+			}
+		case err == io.EOF:
+			if len(b) != 0 {
+				t.Fatalf("io.EOF on %d bytes of input", len(b))
+			}
+		case errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt):
+			// Expected failure classes.
+		default:
+			t.Fatalf("unclassified decode error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package journal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"p4runpro/internal/faults"
+	"p4runpro/internal/obs"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: OpDeploy, Source: "program cache { ... }"},
+		{Op: OpMemWrite, Program: "cache", Mem: "vals", Addr: 7, Value: 0xdeadbeef},
+		{Op: OpMcastSet, Group: 3, Ports: []int{1, 2, 5}},
+		{Op: OpAddCases, Program: "cache", BranchDepth: 2, Source: "case(<sar,9,255>) { drop() }"},
+		{Op: OpRemoveCase, Program: "cache", BranchID: 4},
+		{Op: OpRevoke, Name: "cache"},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		frame, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("record %d: encode: %v", i, err)
+		}
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("record %d: consumed %d of %d bytes", i, n, len(frame))
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Fatalf("record %d: round trip %+v != %+v", i, got, rec)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsDamage(t *testing.T) {
+	frame, err := EncodeRecord(Record{Op: OpRevoke, Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(nil); err != io.EOF {
+		t.Fatalf("empty input: err = %v, want io.EOF", err)
+	}
+	// Every strict prefix is torn (or, once the header is complete but the
+	// payload is cut, still torn).
+	for n := 1; n < len(frame); n++ {
+		if _, _, err := DecodeFrame(frame[:n]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix %d: err = %v, want ErrTorn", n, err)
+		}
+	}
+	// A flipped payload bit is corrupt, not torn.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped bit: err = %v, want ErrCorrupt", err)
+	}
+	// An absurd length field is corrupt.
+	bad = append([]byte(nil), frame...)
+	bad[3] = 0xff
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, replay, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(replay))
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, replay, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !reflect.DeepEqual(replay, want) {
+		t.Fatalf("replay = %+v, want %+v", replay, want)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail: cut the segment mid-record.
+	path := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	j2, replay, err := Open(dir, Options{Sync: SyncAlways, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay, want[:len(want)-1]) {
+		t.Fatalf("after torn tail, replay = %d records, want %d", len(replay), len(want)-1)
+	}
+	// The file itself was truncated, and appends continue cleanly.
+	if err := j2.Append(want[len(want)-1]); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, replay, err = Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay, want) {
+		t.Fatalf("post-repair replay = %d records, want %d", len(replay), len(want))
+	}
+	// The registry is get-or-create, so fetching the counter by name returns
+	// the instance the journal incremented.
+	if got := reg.Counter("p4runpro_journal_torn_truncations_total", "").Value(); got != 1 {
+		t.Fatalf("truncations counter = %d, want 1", got)
+	}
+}
+
+func TestCompactionReplaysFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords() {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Controller-supplied snapshot: pretend the net state is one program
+	// plus one memory word.
+	snap := []Record{
+		{Op: OpDeploy, Source: "program hh { ... }"},
+		{Op: OpMemWrite, Program: "hh", Mem: "cnt", Addr: 0, Value: 11},
+	}
+	if err := j.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction appends land in the new segment.
+	after := Record{Op: OpMcastSet, Group: 1, Ports: []int{9}}
+	if err := j.Append(after); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// The superseded segment is gone; snapshot + new segment remain.
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 survived compaction: %v", err)
+	}
+	_, replay, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Record(nil), snap...), after)
+	if !reflect.DeepEqual(replay, want) {
+		t.Fatalf("replay = %+v, want %+v", replay, want)
+	}
+}
+
+func TestSyncIntervalFlushesOnCloseAndTick(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Sync: SyncInterval, SyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Op: OpRevoke, Name: "tick"}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	// The background tick flushes without Close.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st, err := os.Stat(filepath.Join(dir, segName(1))); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync never flushed the segment")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// And an orderly Close drains the remaining tail.
+	if err := j.Append(Record{Op: OpRevoke, Name: "tail"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replay, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 2 || replay[1].Name != "tail" {
+		t.Fatalf("replay = %+v, want both records", replay)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(Record{Op: OpRevoke, Name: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestCorruptMiddleSegmentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range sampleRecords()[:3] {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Fabricate a newer segment so segment 1 is no longer the tail, then
+	// corrupt segment 1.
+	frame, _ := EncodeRecord(Record{Op: OpRevoke, Name: "y"})
+	if err := os.WriteFile(filepath.Join(dir, segName(2)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, segName(1))
+	b, _ := os.ReadFile(p1)
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(p1, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt middle segment accepted")
+	}
+}
+
+func TestFaultPointsFireOnAppendAndSync(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	defer faults.DisarmAll()
+
+	ap, _ := faults.Lookup("journal.append")
+	ap.FailNth(1, nil)
+	if err := j.Append(Record{Op: OpRevoke, Name: "x"}); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("append fault: err = %v, want ErrInjected", err)
+	}
+	ap.Disarm()
+
+	sp, _ := faults.Lookup("journal.sync")
+	sp.FailNth(1, nil)
+	if err := j.Append(Record{Op: OpRevoke, Name: "x"}); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("sync fault: err = %v, want ErrInjected", err)
+	}
+	sp.Disarm()
+	// After the failures, the journal still works.
+	if err := j.Append(Record{Op: OpRevoke, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,7 +5,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"p4runpro/internal/faults"
 )
+
+// fpInsert is the table-entry installation fault point (see internal/faults):
+// chaos tests arm it to prove a mid-link insert failure rolls the whole
+// program back with every resource released.
+var fpInsert = faults.Register("rmt.table.insert")
 
 // EntryID names an installed entry for later deletion.
 type EntryID uint64
@@ -126,6 +133,9 @@ func (t *Table) SetDefault(action string, params ...uint32) error {
 // Insert installs an entry atomically. It fails when the table is full, the
 // action is unknown, or the key count is wrong.
 func (t *Table) Insert(keys []TernaryKey, priority int, action string, params []uint32, owner string) (EntryID, error) {
+	if err := fpInsert.Check(); err != nil {
+		return 0, fmt.Errorf("rmt: table %s: insert: %w", t.Name, err)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(keys) != t.nkeys {

@@ -286,6 +286,14 @@ func (c *Client) SetMulticastGroup(group int, ports []int) error {
 	return c.call(MethodMcastSet, McastSetParams{Group: group, Ports: ports}, nil)
 }
 
+// Snapshot asks the daemon to commit a write-ahead journal snapshot and
+// compact its segments. Fails if the daemon runs without -wal.
+func (c *Client) Snapshot() (SnapshotResult, error) {
+	var out SnapshotResult
+	err := c.call(MethodSnapshot, nil, &out)
+	return out, err
+}
+
 // FleetDeploy places source on a fleet daemon with the given replica count
 // (0 uses the fleet default).
 func (c *Client) FleetDeploy(source string, replicas int) ([]FleetDeployResult, error) {

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzProtoParse drives ParseRequest — the server's first touch of
+// untrusted connection bytes — with arbitrary input. Properties: it never
+// panics, an accepted request always carries a method, and an accepted
+// request survives a marshal/parse round trip with identical ID, method,
+// and params.
+func FuzzProtoParse(f *testing.F) {
+	// Valid request lines for a spread of verbs.
+	f.Add([]byte(`{"id":1,"method":"deploy","params":{"source":"program x() {}"}}`))
+	f.Add([]byte(`{"id":2,"method":"mem.write","params":{"program":"hh","mem":"cnt","addr":3,"value":41}}`))
+	f.Add([]byte(`{"id":3,"method":"snapshot"}`))
+	f.Add([]byte(`{"id":4,"method":"metrics","params":{"format":"json"}}`))
+	f.Add([]byte(`{"id":-9223372036854775808,"method":"status"}`))
+	// Torn / malformed lines a crashed or hostile client might send.
+	f.Add([]byte(`{"id":1,"method":"dep`))
+	f.Add([]byte(`{"id":1}`))
+	f.Add([]byte(`{"method":""}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"id":"not a number","method":"deploy"}`))
+	f.Add([]byte("{\"id\":1,\"method\":\"x\"}\n{\"id\":2,\"method\":\"y\"}"))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := ParseRequest(line)
+		if err != nil {
+			return
+		}
+		if req.Method == "" {
+			t.Fatal("accepted request with empty method")
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		again, err := ParseRequest(out)
+		if err != nil {
+			t.Fatalf("marshaled request does not re-parse: %v", err)
+		}
+		if again.ID != req.ID || again.Method != req.Method || string(again.Params) != string(req.Params) {
+			t.Fatalf("round trip changed request: %+v != %+v", again, req)
+		}
+	})
+}

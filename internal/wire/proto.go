@@ -8,6 +8,8 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"time"
 )
 
@@ -16,6 +18,21 @@ type Request struct {
 	ID     int64           `json:"id"`
 	Method string          `json:"method"`
 	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// ParseRequest parses one newline-stripped request line into a Request,
+// rejecting non-JSON input and requests without a method. This is the
+// server's first touch of untrusted bytes (and a fuzz target —
+// FuzzProtoParse).
+func ParseRequest(line []byte) (Request, error) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return Request{}, fmt.Errorf("malformed request: %w", err)
+	}
+	if req.Method == "" {
+		return Request{}, errors.New("malformed request: empty method")
+	}
+	return req, nil
 }
 
 // Response answers one Request. Exactly one of Error/Result is meaningful.
@@ -39,7 +56,14 @@ const (
 	MethodRemoveCase  = "case.remove"
 	MethodMcastSet    = "mcast.set"
 	MethodMetrics     = "metrics"
+	MethodSnapshot    = "snapshot"
 )
+
+// SnapshotResult reports a committed journal snapshot + compaction cycle.
+type SnapshotResult struct {
+	WalDir       string `json:"wal_dir"`
+	SegmentBytes int64  `json:"segment_bytes"` // active segment size after compaction
+}
 
 // Fleet method names, served by a daemon running in fleet mode
 // (cmd/p4rpd -fleet). The handlers live in internal/fleet and are attached

@@ -12,8 +12,17 @@ import (
 	"time"
 
 	"p4runpro/internal/controlplane"
+	"p4runpro/internal/faults"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
+)
+
+// Fault-injection points (see internal/faults): chaos tests arm these to
+// prove a connection dying mid-request or mid-response never corrupts the
+// controller and the client's retry on a fresh connection succeeds.
+var (
+	fpConnRead  = faults.Register("wire.conn.read")
+	fpConnWrite = faults.Register("wire.conn.write")
 )
 
 // ErrRequestTooLarge reports a request line exceeding the server's bound.
@@ -215,6 +224,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		// ...then the rest of the line must keep arriving.
+		if err := fpConnRead.Check(); err != nil {
+			s.log.Errorf("wire: %s: read: %v", conn.RemoteAddr(), err)
+			return
+		}
 		line, err := readLine(conn, br, s.MaxRequestBytes, s.ReadTimeout)
 		if err != nil {
 			if errors.Is(err, ErrRequestTooLarge) {
@@ -230,11 +243,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
-		var req Request
 		resp := Response{}
 		s.cRequests.Inc()
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp.Error = "malformed request: " + err.Error()
+		req, err := ParseRequest(line)
+		if err != nil {
+			resp.Error = err.Error()
 		} else {
 			resp.ID = req.ID
 			result, err := s.dispatch(req)
@@ -252,6 +265,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if resp.Error != "" {
 			s.cReqErrs.Inc()
 			s.log.Errorf("wire: %s (id=%d): %s", req.Method, req.ID, resp.Error)
+		}
+		if err := fpConnWrite.Check(); err != nil {
+			s.log.Errorf("wire: %s: write: %v", conn.RemoteAddr(), err)
+			return
 		}
 		if err := enc.Encode(&resp); err != nil {
 			s.log.Errorf("wire: write response: %v", err)
@@ -287,7 +304,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 	if s.ct == nil {
 		switch req.Method {
 		case MethodDeploy, MethodRevoke, MethodPrograms, MethodMemRead, MethodMemWrite,
-			MethodUtilization, MethodInject, MethodStatus, MethodAddCases, MethodRemoveCase, MethodMcastSet:
+			MethodUtilization, MethodInject, MethodStatus, MethodAddCases, MethodRemoveCase, MethodMcastSet, MethodSnapshot:
 			return nil, fmt.Errorf("method %q needs a single-switch daemon (this one serves a fleet; use the fleet.* verbs)", req.Method)
 		}
 		return nil, fmt.Errorf("unknown method %q", req.Method)
@@ -412,8 +429,17 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		s.ct.SetMulticastGroup(p.Group, p.Ports)
+		if err := s.ct.SetMulticastGroup(p.Group, p.Ports); err != nil {
+			return nil, err
+		}
 		return true, nil
+
+	case MethodSnapshot:
+		if err := s.ct.Snapshot(); err != nil {
+			return nil, err
+		}
+		j := s.ct.Journal()
+		return SnapshotResult{WalDir: j.Dir(), SegmentBytes: j.SegmentBytes()}, nil
 	}
 	return nil, fmt.Errorf("unknown method %q", req.Method)
 }

@@ -9,6 +9,7 @@ import (
 
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
+	"p4runpro/internal/journal"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/rmt"
 )
@@ -332,5 +333,49 @@ func TestMulticastOverWire(t *testing.T) {
 	}
 	if got := ct.SW.MulticastGroup(5); len(got) != 0 {
 		t.Errorf("group not cleared: %v", got)
+	}
+}
+
+// TestSnapshotOverWire drives the snapshot verb end to end against a
+// journaled controller: deploy, snapshot (compacting the WAL), and verify
+// the verb fails cleanly on a daemon running without a journal.
+func TestSnapshotOverWire(t *testing.T) {
+	// Without a journal the verb reports a clean error.
+	_, c, _ := startServer(t)
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("snapshot without -wal accepted")
+	}
+
+	dir := t.TempDir()
+	ct, err := controlplane.Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(),
+		journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ct.Journal().Close() })
+	srv := NewServer(ct, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	jc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jc.Close() })
+
+	if _, err := jc.Deploy(testProgram); err != nil {
+		t.Fatal(err)
+	}
+	res, err := jc.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if res.WalDir != dir {
+		t.Errorf("wal dir = %q, want %q", res.WalDir, dir)
+	}
+	if res.SegmentBytes != 0 {
+		t.Errorf("active segment %dB after compaction, want 0", res.SegmentBytes)
 	}
 }
