@@ -366,6 +366,36 @@ func BenchmarkTraceReplay(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Events)), "packets/op")
 }
 
+// BenchmarkParallelReplay measures flow-sharded replay throughput at 1, 2,
+// 4, and 8 workers against the lock-free pipeline — the worker-scaling curve
+// of the parallel replay engine. Reported packets/op and pps make the
+// speedup directly comparable across sub-benchmarks (on a multicore machine
+// 4 workers should sustain >= 2.5x the single-worker throughput; a 1-CPU
+// runner reports flat numbers).
+func BenchmarkParallelReplay(b *testing.B) {
+	cfg := traffic.DefaultConfig()
+	cfg.DurationMs = 200
+	tr := traffic.Generate(cfg)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ct := mustOpen(b)
+			if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				traffic.ReplayParallel(tr, ct.SW, nil, 50, workers)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(tr.Events)), "packets/op")
+			if ns := b.Elapsed().Nanoseconds(); ns > 0 {
+				b.ReportMetric(float64(len(tr.Events)*b.N)/b.Elapsed().Seconds(), "pps")
+			}
+		})
+	}
+}
+
 // BenchmarkIncrementalUpdate measures the §7-extension runtime case
 // addition/removal round trip on a linked cache program.
 func BenchmarkIncrementalUpdate(b *testing.B) {

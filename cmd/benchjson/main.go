@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact. CI tees the bench-smoke output through it to publish a
+// BENCH_*.json artifact per run; the embedded raw text stays
+// benchstat-compatible, and the parsed entries make regression tooling
+// trivial (jq '.benchmarks[] | select(.name | contains("ParallelReplay"))').
+//
+// Usage:
+//
+//	go test -bench=. ./... | benchjson [-o BENCH_SMOKE.json]
+//	benchjson -o out.json bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Raw        string      `json:"raw"` // verbatim input; benchstat-compatible
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+
+	rep := Parse(string(raw))
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: encode: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// Parse extracts benchmark lines from `go test -bench` output. Unparseable
+// lines are ignored (PASS/ok/FAIL markers, compile noise), so it is safe to
+// feed whole multi-package runs.
+func Parse(raw string) *Report {
+	rep := &Report{Raw: raw}
+	pkg := ""
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep
+}

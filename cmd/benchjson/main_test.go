@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: p4runpro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineForwardOnly 	  547447	      1967 ns/op	       0 B/op	       0 allocs/op
+BenchmarkParallelReplay/workers=4         	       1	   7766367 ns/op	      3554 packets/op	    457614 pps	  190952 B/op	      73 allocs/op
+PASS
+ok  	p4runpro	12.3s
+pkg: p4runpro/internal/rmt
+BenchmarkBogus notanumber ns/op
+--- FAIL: some test noise
+`
+
+func TestParse(t *testing.T) {
+	rep := Parse(sample)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("platform = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if rep.CPU == "" {
+		t.Error("cpu not captured")
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkPipelineForwardOnly" || b.Iterations != 547447 || b.NsPerOp != 1967 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Package != "p4runpro" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("mem stats = %v/%v", b.BytesPerOp, b.AllocsPerOp)
+	}
+	p := rep.Benchmarks[1]
+	if p.Name != "BenchmarkParallelReplay/workers=4" {
+		t.Errorf("second name = %q", p.Name)
+	}
+	if p.Metrics["packets/op"] != 3554 || p.Metrics["pps"] != 457614 {
+		t.Errorf("custom metrics = %v", p.Metrics)
+	}
+	if p.BytesPerOp != 190952 || p.AllocsPerOp != 73 {
+		t.Errorf("mem stats = %v/%v", p.BytesPerOp, p.AllocsPerOp)
+	}
+	if rep.Raw != sample {
+		t.Error("raw text not preserved verbatim")
+	}
+}
+
+func TestParseEmptyAndNoise(t *testing.T) {
+	rep := Parse("PASS\nok\nrandom noise\n")
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(rep.Benchmarks))
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|fig7a|fig7b|fig8|fig9|fig10|table2|fig11|fig12|fig1819|ablations|fig13a|fig13b|fig13c|fig13d] [-quick]
+//	experiments [-run all|table1|fig7a|fig7b|fig8|fig9|fig10|table2|fig11|fig12|fig1819|ablations|fig13a|fig13b|fig13c|fig13d|parallel] [-quick]
 package main
 
 import (
@@ -141,6 +141,23 @@ func main() {
 		fmt.Println("aggregate repair (all-mixed capacity):")
 		for _, r := range experiments.AblationRepair(maxEpochs12) {
 			fmt.Printf("  %-12s capacity=%d mem=%.1f%% entries=%.1f%%\n", r.Config, r.Capacity, r.MemUtil*100, r.EntryUtil*100)
+		}
+	})
+
+	section("parallel", func() {
+		durMs, runs := 1000, 3
+		if *quick {
+			durMs, runs = 300, 1
+		}
+		rows := experiments.ParallelScaling(durMs, []int{1, 2, 4, 8}, runs)
+		fmt.Printf("replay worker scaling (host has %d CPUs; flat on 1):\n", experiments.NumCPU())
+		fmt.Printf("  %-8s %-12s %-12s %-9s %s\n", "workers", "elapsed", "pps", "speedup", "result")
+		for _, r := range rows {
+			status := "identical"
+			if !r.Identical {
+				status = "MISMATCH"
+			}
+			fmt.Printf("  %-8d %-12v %-12.0f %-9.2f %s\n", r.Workers, r.Elapsed.Round(time.Microsecond), r.PPS, r.Speedup, status)
 		}
 	})
 

@@ -15,9 +15,14 @@
 // (DIR/m1, DIR/m2, ...), and a restarted daemon recovers every member's
 // programs instead of rebooting the fleet blank.
 //
+// With -pprof ADDR an opt-in net/http/pprof listener serves Go runtime
+// profiles (CPU, heap, goroutine, mutex contention) — the tool for digging
+// into the lock-free packet path under load. It is off by default and should
+// stay bound to localhost.
+//
 // Usage:
 //
-//	p4rpd [-listen :9800] [-r N] [-wal DIR] [-wal-sync always|interval|none]
+//	p4rpd [-listen :9800] [-r N] [-wal DIR] [-wal-sync always|interval|none] [-pprof 127.0.0.1:6060]
 //	p4rpd [-listen :9800] [-r N] [-wal DIR] -fleet 3 [-replicas 2]
 package main
 
@@ -25,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only with -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,7 +54,17 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead journal directory (empty disables durability)")
 	walSync := flag.String("wal-sync", "always", "journal sync policy: always, interval, or none")
 	walSyncIvl := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence for -wal-sync interval")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("p4rpd: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("p4rpd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	opt := core.DefaultOptions()
 	opt.MaxRecirc = *maxR

@@ -57,7 +57,7 @@ var filterFieldBits = map[string]pkt.ParseBitmap{
 }
 
 func initKeyFunc(p *rmt.PHV) []uint32 {
-	k := make([]uint32, filterKeyCount)
+	k := p.KeyScratch(filterKeyCount)
 	q := p.Packet
 	k[fkBitmap] = uint32(q.Bitmap)
 	if q.Eth != nil {

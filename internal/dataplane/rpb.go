@@ -28,14 +28,14 @@ const (
 )
 
 func rpbKeyFunc(p *rmt.PHV) []uint32 {
-	return []uint32{
-		p.Get(FieldProg),
-		p.Get(FieldBranch),
-		p.Get(FieldRecirc),
-		p.Get(FieldHAR),
-		p.Get(FieldSAR),
-		p.Get(FieldMAR),
-	}
+	k := p.KeyScratch(rpbKeyCount)
+	k[rkProg] = p.Get(FieldProg)
+	k[rkBranch] = p.Get(FieldBranch)
+	k[rkRecirc] = p.Get(FieldRecirc)
+	k[rkHAR] = p.Get(FieldHAR)
+	k[rkSAR] = p.Get(FieldSAR)
+	k[rkMAR] = p.Get(FieldMAR)
+	return k
 }
 
 func regGet(p *rmt.PHV, code uint32) uint32 {
@@ -233,7 +233,9 @@ func (pl *Plane) provisionRecircBlock() error {
 	// the P4runpro header (registers + flags, carried in the PHV across
 	// passes in the simulator) while flagging the traffic manager.
 	t, err := pl.SW.AddTable("recirc_block", rmt.Ingress, cfg.IngressStages-1, cfg.TableCapacity, 3, func(p *rmt.PHV) []uint32 {
-		return []uint32{p.Get(FieldProg), p.Get(FieldBranch), p.Get(FieldRecirc)}
+		k := p.KeyScratch(3)
+		k[0], k[1], k[2] = p.Get(FieldProg), p.Get(FieldBranch), p.Get(FieldRecirc)
+		return k
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"p4runpro/internal/traffic"
+)
+
+// ParallelRow is one worker count's measured replay performance.
+type ParallelRow struct {
+	Workers   int
+	Elapsed   time.Duration
+	PPS       float64 // injected packets per second
+	Speedup   float64 // vs the 1-worker row
+	Packets   int
+	Identical bool // merged Result matches the serial baseline exactly
+}
+
+// ParallelScaling measures flow-sharded replay throughput at each worker
+// count against a forward-only pipeline, verifying along the way that every
+// parallel run reproduces the serial Result exactly. On a single-CPU host
+// the curve is flat (workers time-slice one core); on multicore hardware it
+// is the Figure-13-style scaling curve of the replay engine.
+func ParallelScaling(durationMs int, workerCounts []int, runs int) []ParallelRow {
+	cfg := traffic.DefaultConfig()
+	cfg.DurationMs = durationMs
+	tr := traffic.Generate(cfg)
+
+	ct := newController(defaultOptions())
+	deployFwd(ct, 2)
+	baseline := traffic.Replay(tr, ct.SW, nil, bucketMs)
+
+	rows := make([]ParallelRow, 0, len(workerCounts))
+	var serial time.Duration
+	for _, w := range workerCounts {
+		best := time.Duration(0)
+		var res *traffic.Result
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			res = traffic.ReplayParallel(tr, ct.SW, nil, bucketMs, w)
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		if w == 1 || serial == 0 {
+			serial = best
+		}
+		rows = append(rows, ParallelRow{
+			Workers:   w,
+			Elapsed:   best,
+			PPS:       float64(res.Packets) / best.Seconds(),
+			Speedup:   float64(serial) / float64(best),
+			Packets:   res.Packets,
+			Identical: sameResult(baseline, res),
+		})
+	}
+	return rows
+}
+
+// sameResult reports whether two replay results are bucket-for-bucket equal.
+func sameResult(a, b *traffic.Result) bool {
+	if a.Packets != b.Packets || len(a.Verdicts) != len(b.Verdicts) {
+		return false
+	}
+	for v, n := range a.Verdicts {
+		if b.Verdicts[v] != n {
+			return false
+		}
+	}
+	pairs := [][2]traffic.Series{
+		{a.Forwarded, b.Forwarded}, {a.Reflected, b.Reflected},
+		{a.Dropped, b.Dropped}, {a.ToCPU, b.ToCPU},
+	}
+	for _, pr := range pairs {
+		if len(pr[0].Values) != len(pr[1].Values) {
+			return false
+		}
+		for i := range pr[0].Values {
+			if pr[0].Values[i] != pr[1].Values[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumCPU is re-exported so the renderer can annotate scaling tables with the
+// host's parallelism.
+func NumCPU() int { return runtime.NumCPU() }

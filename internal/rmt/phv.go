@@ -71,6 +71,8 @@ type Metadata struct {
 
 // PHV is the per-packet header vector flowing through the pipelines: the
 // parsed packet, intrinsic metadata, and program-defined scratch fields.
+// PHVs injected through a Switch are recycled from a per-switch pool, so a
+// PHV must never be retained past the hook or action call it was passed to.
 type PHV struct {
 	Packet *pkt.Packet
 	Meta   Metadata
@@ -78,33 +80,87 @@ type PHV struct {
 	layout *PHVLayout
 	vals   []uint32
 
-	// memTouched tracks which stages' register arrays this packet has
+	// memTouched tracks which flat stages' register arrays this packet has
 	// already accessed in the current pass, to enforce the hardware's
-	// one-stateful-access-per-stage-per-packet rule.
-	memTouched map[int]bool
-	gress      Gress
-	stage      int
+	// one-stateful-access-per-stage-per-packet rule. Grown lazily on first
+	// stateful access; cleared (not freed) on recirculation and reuse.
+	memTouched []bool
+	// keyBuf is the per-packet scratch slice handed out by KeyScratch so
+	// table key extraction allocates nothing on the hot path.
+	keyBuf []uint32
+	gress  Gress
+	stage  int
 }
 
 // NewPHV wraps a parsed packet for one pipeline pass. A nil packet yields a
 // PHV with only metadata and scratch fields (used by tests and synthetic
 // probes).
 func NewPHV(layout *PHVLayout, p *pkt.Packet, ingressPort int) *PHV {
+	phv := &PHV{}
+	phv.reset(layout, p, ingressPort)
+	return phv
+}
+
+// reset rebinds a (possibly recycled) PHV to a new packet, zeroing every
+// scratch field and per-pass state while keeping the allocated buffers.
+func (p *PHV) reset(layout *PHVLayout, q *pkt.Packet, ingressPort int) {
 	var pktLen uint32
-	if p != nil {
-		pktLen = uint32(p.WireLen)
+	if q != nil {
+		pktLen = uint32(q.WireLen)
 	}
-	return &PHV{
-		Packet: p,
-		Meta: Metadata{
-			IngressPort: ingressPort,
-			EgressSpec:  -1,
-			PktLen:      pktLen,
-		},
-		layout:     layout,
-		vals:       make([]uint32, len(layout.order)),
-		memTouched: make(map[int]bool),
+	p.Packet = q
+	p.Meta = Metadata{
+		IngressPort: ingressPort,
+		EgressSpec:  -1,
+		PktLen:      pktLen,
 	}
+	p.layout = layout
+	n := len(layout.order)
+	if cap(p.vals) < n {
+		p.vals = make([]uint32, n)
+	} else {
+		p.vals = p.vals[:n]
+		for i := range p.vals {
+			p.vals[i] = 0
+		}
+	}
+	for i := range p.memTouched {
+		p.memTouched[i] = false
+	}
+	p.gress, p.stage = Ingress, 0
+}
+
+// KeyScratch returns a zeroed n-word scratch slice owned by this PHV, for
+// table key-extraction functions: the returned slice is only valid until the
+// next KeyScratch call on the same PHV, which is exactly the lifetime of a
+// match lookup (Table.Apply consumes the keys before the next table runs).
+// Using it instead of allocating keeps the packet path allocation-free.
+func (p *PHV) KeyScratch(n int) []uint32 {
+	if cap(p.keyBuf) < n {
+		p.keyBuf = make([]uint32, n)
+	}
+	s := p.keyBuf[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// touchMem records a stateful access to flat stage key and reports whether
+// that stage was already accessed in this pass.
+func (p *PHV) touchMem(key int) bool {
+	if key < len(p.memTouched) {
+		if p.memTouched[key] {
+			return true
+		}
+		p.memTouched[key] = true
+		return false
+	}
+	grown := make([]bool, key+8)
+	copy(grown, p.memTouched)
+	p.memTouched = grown
+	p.memTouched[key] = true
+	return false
 }
 
 // Get reads a scratch field; unknown names panic because they indicate a
@@ -131,7 +187,9 @@ func (p *PHV) Set(name string, v uint32) {
 // across passes — they are applied by the traffic manager after the final
 // pass — only the recirculation request and the stateful-access set reset.
 func (p *PHV) ResetPass() {
-	p.memTouched = make(map[int]bool)
+	for i := range p.memTouched {
+		p.memTouched[i] = false
+	}
 	p.Meta.Recirc = false
 }
 

@@ -2,7 +2,7 @@ package rmt
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // SALUOp selects the stateful-ALU operation performed against one memory
@@ -45,10 +45,16 @@ func (op SALUOp) String() string {
 // RegisterArray is one stage's stateful memory: MemoryWords 32-bit buckets
 // behind a stateful ALU. The hardware permits exactly one access per packet
 // per stage; Switch enforces that via the PHV's per-pass access set.
+//
+// Every word is operated on atomically (plain atomics for read/write/add,
+// CAS loops for the read-modify-write ops), so concurrent packets touching
+// the same bucket are linearized per word without any lock — mirroring the
+// hardware, where each SALU access is a single-cycle atomic visit. Multi-word
+// operations (ResetRange, Snapshot) are atomic per word, not across the
+// range, exactly like a control-plane read racing line-rate traffic.
 type RegisterArray struct {
 	gress Gress
 	stage int
-	mu    sync.Mutex
 	words []uint32
 }
 
@@ -65,85 +71,89 @@ func (r *RegisterArray) Size() int { return len(r.words) }
 // simulator an out-of-range physical address always indicates an address-
 // translation bug and must surface.
 func (r *RegisterArray) Execute(op SALUOp, addr uint32, operand uint32) (uint32, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(addr) >= len(r.words) {
 		return 0, fmt.Errorf("rmt: %s stage %d: physical address %d out of range [0,%d)", r.gress, r.stage, addr, len(r.words))
 	}
-	old := r.words[addr]
-	var result uint32
+	w := &r.words[addr]
 	switch op {
 	case SALURead:
-		result = old
+		return atomic.LoadUint32(w), nil
 	case SALUWrite:
-		r.words[addr] = operand
-		result = operand
+		atomic.StoreUint32(w, operand)
+		return operand, nil
 	case SALUAdd:
-		r.words[addr] = old + operand
-		result = r.words[addr]
+		return atomic.AddUint32(w, operand), nil
 	case SALUSub:
-		r.words[addr] = old - operand
-		result = r.words[addr]
+		return atomic.AddUint32(w, ^operand+1), nil
 	case SALUAnd:
-		r.words[addr] = old & operand
-		result = r.words[addr]
-	case SALUOr:
-		r.words[addr] = old | operand
-		result = old
-	case SALUMax:
-		if operand > old {
-			r.words[addr] = operand
+		for {
+			old := atomic.LoadUint32(w)
+			if atomic.CompareAndSwapUint32(w, old, old&operand) {
+				return old & operand, nil
+			}
 		}
-		result = old
+	case SALUOr:
+		for {
+			old := atomic.LoadUint32(w)
+			if atomic.CompareAndSwapUint32(w, old, old|operand) {
+				return old, nil
+			}
+		}
+	case SALUMax:
+		for {
+			old := atomic.LoadUint32(w)
+			if operand <= old {
+				return old, nil
+			}
+			if atomic.CompareAndSwapUint32(w, old, operand) {
+				return old, nil
+			}
+		}
 	default:
 		return 0, fmt.Errorf("rmt: unknown SALU op %d", int(op))
 	}
-	return result, nil
 }
 
 // Peek reads a word without modeling a packet access (control-plane read).
 func (r *RegisterArray) Peek(addr uint32) (uint32, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(addr) >= len(r.words) {
 		return 0, fmt.Errorf("rmt: peek address %d out of range", addr)
 	}
-	return r.words[addr], nil
+	return atomic.LoadUint32(&r.words[addr]), nil
 }
 
 // Poke writes a word from the control plane.
 func (r *RegisterArray) Poke(addr uint32, v uint32) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(addr) >= len(r.words) {
 		return fmt.Errorf("rmt: poke address %d out of range", addr)
 	}
-	r.words[addr] = v
+	atomic.StoreUint32(&r.words[addr], v)
 	return nil
 }
 
 // ResetRange zeroes [start, start+n), used when the resource manager locks
 // and resets a terminated program's memory (paper §4.3 "Consistent Update").
+// Atomic per word; concurrent packets may observe a partially reset range,
+// as on hardware, where the reset is a sequence of per-bucket writes.
 func (r *RegisterArray) ResetRange(start, n uint32) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(start)+int(n) > len(r.words) {
 		return fmt.Errorf("rmt: reset range [%d,%d) out of bounds", start, start+n)
 	}
 	for i := start; i < start+n; i++ {
-		r.words[i] = 0
+		atomic.StoreUint32(&r.words[i], 0)
 	}
 	return nil
 }
 
-// Snapshot copies [start, start+n) for control-plane monitoring.
+// Snapshot copies [start, start+n) for control-plane monitoring. Atomic per
+// word, not across the range.
 func (r *RegisterArray) Snapshot(start, n uint32) ([]uint32, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(start)+int(n) > len(r.words) {
 		return nil, fmt.Errorf("rmt: snapshot range [%d,%d) out of bounds", start, start+n)
 	}
 	out := make([]uint32, n)
-	copy(out, r.words[start:start+n])
+	for i := uint32(0); i < n; i++ {
+		out[i] = atomic.LoadUint32(&r.words[start+i])
+	}
 	return out, nil
 }

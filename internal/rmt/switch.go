@@ -122,9 +122,32 @@ func (s *Switch) StageLookupCount(flat int) uint64 {
 // flight.
 func (s *Switch) SetInstrumentation(enabled bool) { s.instrOff = !enabled }
 
+// portCounter is one port's transmit statistics, updated atomically on the
+// packet path so concurrent injection never tears or drops a count.
+type portCounter struct {
+	pkts  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+func (c *portCounter) add(wireLen int) {
+	c.pkts.Add(1)
+	c.bytes.Add(uint64(wireLen))
+}
+
+func (c *portCounter) snapshot() PortCounters {
+	return PortCounters{TxPackets: c.pkts.Load(), TxBytes: c.bytes.Load()}
+}
+
 // Switch is a provisioned RMT ASIC: fixed stages, tables, register arrays,
 // and hash units. Runtime reconfiguration is restricted to table entries and
 // register values, exactly as on real RMT hardware.
+//
+// The packet path (Inject and everything under it) is safe for concurrent
+// use and lock-free: stage plans and table match state are immutable
+// snapshots behind atomic pointers, all counters are atomics, register
+// arrays linearize per word, and PHVs are recycled from a pool — modeling a
+// Tofino's independent packet-processing engines, which forward at line rate
+// while the control plane updates entries underneath them (paper §5).
 type Switch struct {
 	cfg    Config
 	layout *PHVLayout
@@ -132,6 +155,10 @@ type Switch struct {
 	mu        sync.RWMutex
 	tables    map[string]*Table
 	stagePlan map[stageKey][]*Table // application order within a stage
+	// plan is the published flat stage plan (ingress stages first, then
+	// egress), rebuilt copy-on-write under mu by AddTable and read
+	// lock-free by runGress.
+	plan atomic.Pointer[[][]*Table]
 
 	arrays map[stageKey]*RegisterArray
 	hash   map[stageKey][]*hashing.Unit
@@ -143,21 +170,23 @@ type Switch struct {
 	mcastMu sync.RWMutex
 	mcast   map[int][]int // multicast group -> egress ports
 
-	ports   []PortCounters
-	rx      []PortCounters
+	ports   []portCounter
+	rx      []portCounter
 	cpu     []*pkt.Packet
 	cpuMu   sync.Mutex
 	cpuKeep int
 
-	recircPackets uint64
-	recircBytes   uint64
+	recircPackets atomic.Uint64
+	recircBytes   atomic.Uint64
+
+	phvPool sync.Pool
 
 	met      switchMetrics
 	instrOff bool // zero value = instrumented (the default)
 
 	// queueDepth is the traffic manager's simulated queue occupancy,
 	// surfaced to programs as the meta.qdepth intrinsic.
-	queueDepth uint32
+	queueDepth atomic.Uint32
 }
 
 type stageKey struct {
@@ -176,10 +205,13 @@ func New(cfg Config) *Switch {
 		stagePlan: make(map[stageKey][]*Table),
 		arrays:    make(map[stageKey]*RegisterArray),
 		hash:      make(map[stageKey][]*hashing.Unit),
-		ports:     make([]PortCounters, cfg.Ports+8),
-		rx:        make([]PortCounters, cfg.Ports+8),
+		ports:     make([]portCounter, cfg.Ports+8),
+		rx:        make([]portCounter, cfg.Ports+8),
 		cpuKeep:   1 << 16,
 	}
+	s.phvPool.New = func() any { return &PHV{} }
+	emptyPlan := make([][]*Table, cfg.IngressStages+cfg.EgressStages)
+	s.plan.Store(&emptyPlan)
 	s.met.lookups = make([]atomic.Uint64, cfg.IngressStages+cfg.EgressStages)
 	for g := Ingress; g <= Egress; g++ {
 		for st := 0; st < cfg.StageCount(g); st++ {
@@ -258,7 +290,27 @@ func (s *Switch) AddTable(name string, g Gress, stage, capacity, nkeys int, keyF
 	s.tables[name] = t
 	k := stageKey{g, stage}
 	s.stagePlan[k] = append(s.stagePlan[k], t)
+	s.publishPlanLocked()
 	return t, nil
+}
+
+// flatStage maps (gress, stage) to the flat stage index used by the plan
+// snapshot and the per-stage metrics (ingress stages first, then egress).
+func (s *Switch) flatStage(g Gress, stage int) int {
+	if g == Egress {
+		return stage + s.cfg.IngressStages
+	}
+	return stage
+}
+
+// publishPlanLocked rebuilds the flat stage-plan snapshot from stagePlan and
+// publishes it atomically. Caller holds s.mu.
+func (s *Switch) publishPlanLocked() {
+	flat := make([][]*Table, s.cfg.IngressStages+s.cfg.EgressStages)
+	for k, plan := range s.stagePlan {
+		flat[s.flatStage(k.g, k.stage)] = append([]*Table(nil), plan...)
+	}
+	s.plan.Store(&flat)
 }
 
 // Table finds a table by name.
@@ -303,14 +355,9 @@ func (s *Switch) HashUnit(g Gress, stage, idx int) (*hashing.Unit, error) {
 // so the one-access-per-stage hardware rule is enforced.
 func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, error) {
 	g, st := p.CurrentStage()
-	key := st
-	if g == Egress {
-		key = st + s.cfg.IngressStages
-	}
-	if p.memTouched[key] {
+	if p.touchMem(s.flatStage(g, st)) {
 		return 0, fmt.Errorf("rmt: second stateful access in %s stage %d (hardware allows one per packet per stage)", g, st)
 	}
-	p.memTouched[key] = true
 	if !s.instrOff {
 		s.met.saluOps.Add(1)
 	}
@@ -322,6 +369,10 @@ func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, 
 // are applied by the traffic manager after the final pass, so deferred
 // verdicts (e.g. DROP followed by MEMWRITE in the paper's cache program)
 // behave as on hardware, where drops are finalized at deparsing.
+//
+// Inject is safe for concurrent use: independent goroutines model the
+// chip's parallel packet-processing engines. Per-flow ordering is the
+// caller's concern (see traffic.ReplayParallel's 5-tuple sharding).
 func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
 	res := s.inject(p, inPort)
 	if !s.instrOff {
@@ -334,11 +385,19 @@ func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
 
 func (s *Switch) inject(p *pkt.Packet, inPort int) Result {
 	if inPort >= 0 && inPort < len(s.rx) {
-		s.rx[inPort].TxPackets++
-		s.rx[inPort].TxBytes += uint64(p.WireLen)
+		s.rx[inPort].add(p.WireLen)
 	}
-	phv := NewPHV(s.layout, p, inPort)
-	phv.Meta.QueueDepth = s.queueDepth
+	phv := s.phvPool.Get().(*PHV)
+	phv.reset(s.layout, p, inPort)
+	res := s.run(phv, p, inPort)
+	s.phvPool.Put(phv)
+	return res
+}
+
+// run drives one recycled PHV through the pipeline passes and the traffic
+// manager's final verdict.
+func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
+	phv.Meta.QueueDepth = s.queueDepth.Load()
 	if s.onParse != nil {
 		s.onParse(phv)
 	}
@@ -363,8 +422,8 @@ func (s *Switch) inject(p *pkt.Packet, inPort int) Result {
 		if passes > s.cfg.MaxRecirc {
 			return Result{Verdict: VerdictRecircOverflow, OutPort: -1, Packet: p, Passes: passes}
 		}
-		s.recircPackets++
-		s.recircBytes += uint64(p.WireLen)
+		s.recircPackets.Add(1)
+		s.recircBytes.Add(uint64(p.WireLen))
 		if !s.instrOff {
 			s.met.recircs.Add(1)
 		}
@@ -418,11 +477,10 @@ func (s *Switch) runGress(phv *PHV, g Gress) {
 	if g == Egress {
 		flatBase = s.cfg.IngressStages
 	}
+	plans := *s.plan.Load()
 	for st := 0; st < n; st++ {
 		phv.stage = st
-		s.mu.RLock()
-		plan := s.stagePlan[stageKey{g, st}]
-		s.mu.RUnlock()
+		plan := plans[flatBase+st]
 		for _, t := range plan {
 			t.Apply(phv)
 		}
@@ -434,8 +492,7 @@ func (s *Switch) runGress(phv *PHV, g Gress) {
 
 func (s *Switch) tx(port int, p *pkt.Packet) {
 	if port >= 0 && port < len(s.ports) {
-		s.ports[port].TxPackets++
-		s.ports[port].TxBytes += uint64(p.WireLen)
+		s.ports[port].add(p.WireLen)
 	}
 }
 
@@ -444,12 +501,12 @@ func (s *Switch) PortStats(port int) PortCounters {
 	if port < 0 || port >= len(s.ports) {
 		return PortCounters{}
 	}
-	return s.ports[port]
+	return s.ports[port].snapshot()
 }
 
 // RecircStats returns cumulative recirculated packets and bytes.
 func (s *Switch) RecircStats() (packets, bytes uint64) {
-	return s.recircPackets, s.recircBytes
+	return s.recircPackets.Load(), s.recircBytes.Load()
 }
 
 // DrainCPU returns and clears the packets reported to the CPU.
@@ -463,15 +520,18 @@ func (s *Switch) DrainCPU() []*pkt.Packet {
 
 // SetQueueDepth sets the simulated traffic-manager queue occupancy exposed
 // to programs as meta.qdepth.
-func (s *Switch) SetQueueDepth(d uint32) { s.queueDepth = d }
+func (s *Switch) SetQueueDepth(d uint32) { s.queueDepth.Store(d) }
 
 // ResetCounters zeroes all port counters (between experiment phases).
 func (s *Switch) ResetCounters() {
 	for i := range s.ports {
-		s.ports[i] = PortCounters{}
+		s.ports[i].pkts.Store(0)
+		s.ports[i].bytes.Store(0)
 	}
 	for i := range s.rx {
-		s.rx[i] = PortCounters{}
+		s.rx[i].pkts.Store(0)
+		s.rx[i].bytes.Store(0)
 	}
-	s.recircPackets, s.recircBytes = 0, 0
+	s.recircPackets.Store(0)
+	s.recircBytes.Store(0)
 }

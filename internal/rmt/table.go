@@ -47,17 +47,53 @@ type Entry struct {
 	Owner    string // installing program, for bookkeeping and debugging
 
 	// hits counts packets this entry matched (a direct counter, read via
-	// Hits); updated atomically because lookups hold only a read lock.
+	// Hits); updated atomically because lookups run lock-free.
 	hits uint64
 }
 
 // Hits returns the entry's direct counter.
 func (e *Entry) Hits() uint64 { return atomic.LoadUint64(&e.hits) }
 
-// Table is a stage-resident ternary match-action table. All mutations are
-// atomic with respect to lookups (one RWMutex per table), modeling the RMT
-// architecture's per-entry update atomicity that P4runpro's consistent
-// update relies on (paper §4.3).
+// tableState is the immutable published match state of a table: the bucket
+// index, the wildcard list, the action set, and the resolved default action.
+// Every mutation builds a fresh tableState under the writer lock and
+// publishes it with one atomic pointer store, so the packet path reads a
+// consistent snapshot without taking any lock — the simulator's model of the
+// RMT architecture's per-entry update atomicity that P4runpro's consistent
+// update relies on (paper §4.3/§5). A snapshot is never mutated after
+// publication; entries are shared between snapshots (their hit counters are
+// atomics and survive republication).
+type tableState struct {
+	actions map[string]actionDef
+	// exact-first-key index: RPB tables always match the program ID
+	// exactly as their first key, so bucket entries by it; entries whose
+	// first key is not a full mask go to the wildcard list.
+	buckets  map[uint32][]*Entry
+	wildcard []*Entry
+	count    int
+
+	defaultName   string
+	defaultFn     ActionFunc
+	defaultParams []uint32
+}
+
+// clone shallow-copies the state: fresh maps, shared entry slices. Writers
+// replace any slice they modify with a copy before publishing.
+func (st *tableState) clone() *tableState {
+	ns := *st
+	ns.buckets = make(map[uint32][]*Entry, len(st.buckets)+1)
+	for k, v := range st.buckets {
+		ns.buckets[k] = v
+	}
+	return &ns
+}
+
+// Table is a stage-resident ternary match-action table. Lookups (Apply,
+// Lookup, and all read accessors) are lock-free against an atomically
+// published snapshot; mutations serialize on a writer mutex, rebuild the
+// snapshot copy-on-write, and publish it in one atomic store. Packets
+// therefore always observe either the pre-update or the post-update entry
+// set, never a torn mix.
 type Table struct {
 	Name     string
 	Gress    Gress
@@ -67,20 +103,11 @@ type Table struct {
 	keyFunc func(*PHV) []uint32
 	nkeys   int
 
-	mu      sync.RWMutex
-	nextID  EntryID
-	actions map[string]actionDef
-	// exact-first-key index: RPB tables always match the program ID
-	// exactly as their first key, so bucket entries by it; entries whose
-	// first key is not a full mask go to the wildcard list.
-	buckets  map[uint32][]*Entry
-	wildcard []*Entry
-	count    int
+	mu     sync.Mutex // serializes writers; readers never take it
+	nextID EntryID
+	state  atomic.Pointer[tableState]
 
-	defaultAction string
-	defaultParams []uint32
-
-	hits, misses uint64
+	hits, misses atomic.Uint64
 }
 
 type actionDef struct {
@@ -91,16 +118,19 @@ type actionDef struct {
 // NewTable creates a table bound to a stage. keyFunc extracts nkeys 32-bit
 // key values from the PHV per lookup.
 func NewTable(name string, g Gress, stage, capacity, nkeys int, keyFunc func(*PHV) []uint32) *Table {
-	return &Table{
+	t := &Table{
 		Name:     name,
 		Gress:    g,
 		Stage:    stage,
 		capacity: capacity,
 		keyFunc:  keyFunc,
 		nkeys:    nkeys,
-		actions:  make(map[string]actionDef),
-		buckets:  make(map[uint32][]*Entry),
 	}
+	t.state.Store(&tableState{
+		actions: make(map[string]actionDef),
+		buckets: make(map[uint32][]*Entry),
+	})
+	return t
 }
 
 // RegisterAction binds an action implementation at provisioning time.
@@ -109,10 +139,17 @@ func NewTable(name string, g Gress, stage, capacity, nkeys int, keyFunc func(*PH
 func (t *Table) RegisterAction(name string, vliwSlots int, fn ActionFunc) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, dup := t.actions[name]; dup {
+	cur := t.state.Load()
+	if _, dup := cur.actions[name]; dup {
 		return fmt.Errorf("rmt: table %s: action %q already registered", t.Name, name)
 	}
-	t.actions[name] = actionDef{fn: fn, vliwSlots: vliwSlots}
+	ns := cur.clone()
+	ns.actions = make(map[string]actionDef, len(cur.actions)+1)
+	for k, v := range cur.actions {
+		ns.actions[k] = v
+	}
+	ns.actions[name] = actionDef{fn: fn, vliwSlots: vliwSlots}
+	t.state.Store(ns)
 	return nil
 }
 
@@ -120,13 +157,20 @@ func (t *Table) RegisterAction(name string, vliwSlots int, fn ActionFunc) error 
 func (t *Table) SetDefault(action string, params ...uint32) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	cur := t.state.Load()
+	var fn ActionFunc
 	if action != "" {
-		if _, ok := t.actions[action]; !ok {
+		def, ok := cur.actions[action]
+		if !ok {
 			return fmt.Errorf("rmt: table %s: unknown default action %q", t.Name, action)
 		}
+		fn = def.fn
 	}
-	t.defaultAction = action
-	t.defaultParams = params
+	ns := cur.clone()
+	ns.defaultName = action
+	ns.defaultFn = fn
+	ns.defaultParams = params
+	t.state.Store(ns)
 	return nil
 }
 
@@ -138,24 +182,35 @@ func (t *Table) Insert(keys []TernaryKey, priority int, action string, params []
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	cur := t.state.Load()
 	if len(keys) != t.nkeys {
 		return 0, fmt.Errorf("rmt: table %s: entry has %d keys, want %d", t.Name, len(keys), t.nkeys)
 	}
-	if _, ok := t.actions[action]; !ok {
+	if _, ok := cur.actions[action]; !ok {
 		return 0, fmt.Errorf("rmt: table %s: unknown action %q", t.Name, action)
 	}
-	if t.count >= t.capacity {
+	if cur.count >= t.capacity {
 		return 0, fmt.Errorf("rmt: table %s: full (%d entries)", t.Name, t.capacity)
 	}
 	t.nextID++
 	e := &Entry{ID: t.nextID, Keys: keys, Priority: priority, Action: action, Params: params, Owner: owner}
+	ns := cur.clone()
 	if keys[0].Mask == ^uint32(0) {
-		t.buckets[keys[0].Value] = insertByPriority(t.buckets[keys[0].Value], e)
+		ns.buckets[keys[0].Value] = insertByPriority(copyEntries(cur.buckets[keys[0].Value]), e)
 	} else {
-		t.wildcard = insertByPriority(t.wildcard, e)
+		ns.wildcard = insertByPriority(copyEntries(cur.wildcard), e)
 	}
-	t.count++
+	ns.count++
+	t.state.Store(ns)
 	return e.ID, nil
+}
+
+// copyEntries returns a fresh slice with one spare slot, so insertByPriority
+// never aliases the published snapshot's backing array.
+func copyEntries(list []*Entry) []*Entry {
+	out := make([]*Entry, len(list), len(list)+1)
+	copy(out, list)
+	return out
 }
 
 // insertByPriority places e after all existing entries of priority >=
@@ -173,22 +228,34 @@ func insertByPriority(list []*Entry, e *Entry) []*Entry {
 func (t *Table) Delete(id EntryID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for k, b := range t.buckets {
+	cur := t.state.Load()
+	for k, b := range cur.buckets {
 		for i, e := range b {
 			if e.ID == id {
-				t.buckets[k] = append(b[:i:i], b[i+1:]...)
-				if len(t.buckets[k]) == 0 {
-					delete(t.buckets, k)
+				ns := cur.clone()
+				if len(b) == 1 {
+					delete(ns.buckets, k)
+				} else {
+					nb := make([]*Entry, 0, len(b)-1)
+					nb = append(nb, b[:i]...)
+					nb = append(nb, b[i+1:]...)
+					ns.buckets[k] = nb
 				}
-				t.count--
+				ns.count--
+				t.state.Store(ns)
 				return nil
 			}
 		}
 	}
-	for i, e := range t.wildcard {
+	for i, e := range cur.wildcard {
 		if e.ID == id {
-			t.wildcard = append(t.wildcard[:i:i], t.wildcard[i+1:]...)
-			t.count--
+			ns := cur.clone()
+			nw := make([]*Entry, 0, len(cur.wildcard)-1)
+			nw = append(nw, cur.wildcard[:i]...)
+			nw = append(nw, cur.wildcard[i+1:]...)
+			ns.wildcard = nw
+			ns.count--
+			t.state.Store(ns)
 			return nil
 		}
 	}
@@ -200,9 +267,11 @@ func (t *Table) Delete(id EntryID) error {
 func (t *Table) DeleteOwned(owner string) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	cur := t.state.Load()
 	n := 0
-	for k, b := range t.buckets {
-		kept := b[:0]
+	ns := cur.clone()
+	for k, b := range cur.buckets {
+		kept := make([]*Entry, 0, len(b))
 		for _, e := range b {
 			if e.Owner == owner {
 				n++
@@ -211,46 +280,48 @@ func (t *Table) DeleteOwned(owner string) int {
 			}
 		}
 		if len(kept) == 0 {
-			delete(t.buckets, k)
+			delete(ns.buckets, k)
 		} else {
-			t.buckets[k] = kept
+			ns.buckets[k] = kept
 		}
 	}
-	kept := t.wildcard[:0]
-	for _, e := range t.wildcard {
+	kept := make([]*Entry, 0, len(cur.wildcard))
+	for _, e := range cur.wildcard {
 		if e.Owner == owner {
 			n++
 		} else {
 			kept = append(kept, e)
 		}
 	}
-	t.wildcard = kept
-	t.count -= n
+	ns.wildcard = kept
+	ns.count -= n
+	t.state.Store(ns)
 	return n
 }
 
 // Apply performs one match-action lookup for the packet. It returns whether
-// an entry (or the default action) was executed.
+// an entry (or the default action) was executed. The match resolves against
+// one immutable snapshot, so concurrent Insert/Delete can never expose a
+// half-updated entry set; hit/miss counters are atomics.
 func (t *Table) Apply(p *PHV) bool {
 	keyVals := t.keyFunc(p)
-	t.mu.RLock()
-	e := t.lookupLocked(keyVals)
+	st := t.state.Load()
+	e := st.lookup(keyVals)
 	var fn ActionFunc
 	var params []uint32
 	switch {
 	case e != nil:
-		fn = t.actions[e.Action].fn
+		fn = st.actions[e.Action].fn
 		params = e.Params
 		atomic.AddUint64(&e.hits, 1)
-		t.hits++
-	case t.defaultAction != "":
-		fn = t.actions[t.defaultAction].fn
-		params = t.defaultParams
-		t.misses++
+		t.hits.Add(1)
+	case st.defaultFn != nil:
+		fn = st.defaultFn
+		params = st.defaultParams
+		t.misses.Add(1)
 	default:
-		t.misses++
+		t.misses.Add(1)
 	}
-	t.mu.RUnlock()
 	if fn == nil {
 		return false
 	}
@@ -258,9 +329,9 @@ func (t *Table) Apply(p *PHV) bool {
 	return true
 }
 
-func (t *Table) lookupLocked(keyVals []uint32) *Entry {
+func (st *tableState) lookup(keyVals []uint32) *Entry {
 	var best *Entry
-	if b, ok := t.buckets[keyVals[0]]; ok {
+	if b, ok := st.buckets[keyVals[0]]; ok {
 		for _, e := range b {
 			if matchAll(e.Keys, keyVals) {
 				best = e
@@ -268,7 +339,7 @@ func (t *Table) lookupLocked(keyVals []uint32) *Entry {
 			}
 		}
 	}
-	for _, e := range t.wildcard {
+	for _, e := range st.wildcard {
 		if best != nil && e.Priority <= best.Priority {
 			break // wildcard sorted by priority
 		}
@@ -292,52 +363,39 @@ func matchAll(keys []TernaryKey, vals []uint32) bool {
 // Lookup returns the entry that would match the given key values, without
 // executing its action. Used by tests and the consistency checker.
 func (t *Table) Lookup(keyVals []uint32) *Entry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if len(keyVals) != t.nkeys {
 		return nil
 	}
-	return t.lookupLocked(keyVals)
+	return t.state.Load().lookup(keyVals)
 }
 
 // Len returns the installed entry count.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
-}
+func (t *Table) Len() int { return t.state.Load().count }
 
 // Capacity returns the entry capacity.
 func (t *Table) Capacity() int { return t.capacity }
 
 // Free returns the remaining entry capacity.
-func (t *Table) Free() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.capacity - t.count
-}
+func (t *Table) Free() int { return t.capacity - t.state.Load().count }
 
 // Stats returns cumulative hit and miss counters.
 func (t *Table) Stats() (hits, misses uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.hits, t.misses
+	return t.hits.Load(), t.misses.Load()
 }
 
 // OwnerHits sums the direct counters of every entry a program owns — the
 // control plane's per-program monitoring primitive.
 func (t *Table) OwnerHits(owner string) uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	st := t.state.Load()
 	var total uint64
-	for _, b := range t.buckets {
+	for _, b := range st.buckets {
 		for _, e := range b {
 			if e.Owner == owner {
 				total += e.Hits()
 			}
 		}
 	}
-	for _, e := range t.wildcard {
+	for _, e := range st.wildcard {
 		if e.Owner == owner {
 			total += e.Hits()
 		}
@@ -347,31 +405,24 @@ func (t *Table) OwnerHits(owner string) uint64 {
 
 // VLIWUsage sums the VLIW slots of all registered actions.
 func (t *Table) VLIWUsage() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	for _, a := range t.actions {
+	for _, a := range t.state.Load().actions {
 		n += a.vliwSlots
 	}
 	return n
 }
 
 // ActionCount returns the number of registered actions.
-func (t *Table) ActionCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.actions)
-}
+func (t *Table) ActionCount() int { return len(t.state.Load().actions) }
 
 // Entries returns a snapshot of installed entries (for tests/inspection).
 func (t *Table) Entries() []*Entry {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]*Entry, 0, t.count)
-	for _, b := range t.buckets {
+	st := t.state.Load()
+	out := make([]*Entry, 0, st.count)
+	for _, b := range st.buckets {
 		out = append(out, b...)
 	}
-	out = append(out, t.wildcard...)
+	out = append(out, st.wildcard...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -1,0 +1,49 @@
+package traffic
+
+import (
+	"sync/atomic"
+	"time"
+
+	"p4runpro/internal/obs"
+)
+
+// Package-level replay telemetry, fed by Replay/ReplayParallel and exposed
+// through RegisterReplayMetrics. Everything is atomic so a replay running on
+// worker goroutines never contends with a metrics scrape.
+var (
+	replayRuns    obs.Counter // completed replays
+	replayPackets obs.Counter // packets injected across all replays
+	replayWorkers atomic.Int64
+	replayPPS     atomic.Uint64 // math.Float64bits of last run's packets/sec
+)
+
+func recordReplay(workers, packets int, elapsed time.Duration) {
+	replayRuns.Inc()
+	replayPackets.Add(uint64(packets))
+	replayWorkers.Store(int64(workers))
+	if s := elapsed.Seconds(); s > 0 {
+		replayPPS.Store(uint64(float64(packets) / s))
+	}
+}
+
+// LastReplayThroughput returns the packets/sec achieved by the most recent
+// replay, 0 if none has run.
+func LastReplayThroughput() uint64 { return replayPPS.Load() }
+
+// LastReplayWorkers returns the worker count of the most recent replay.
+func LastReplayWorkers() int { return int(replayWorkers.Load()) }
+
+// RegisterReplayMetrics exposes replay engine telemetry on a registry: run
+// and packet totals, the worker count of the last run, and its throughput.
+func RegisterReplayMetrics(reg *obs.Registry) {
+	reg.CounterFunc("p4runpro_replay_runs_total",
+		"Completed trace replays.", replayRuns.Value)
+	reg.CounterFunc("p4runpro_replay_packets_total",
+		"Packets injected by the replay engine.", replayPackets.Value)
+	reg.GaugeFunc("p4runpro_replay_workers",
+		"Worker goroutines used by the most recent replay.",
+		func() float64 { return float64(replayWorkers.Load()) })
+	reg.GaugeFunc("p4runpro_replay_throughput_pps",
+		"Injection throughput of the most recent replay, packets/sec.",
+		func() float64 { return float64(replayPPS.Load()) })
+}

@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"sort"
+	"time"
 
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/rmt"
@@ -71,6 +72,7 @@ type Result struct {
 // letting case studies sample control-plane state — e.g. draining reported
 // heavy hitters — at the measurement cadence.
 func Replay(tr *Trace, inj Injector, sched []Action, bucketMs float64, hooks ...func(bucket int)) *Result {
+	start := time.Now()
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtMs < sched[j].AtMs })
 	durationMs := 0.0
 	if n := len(tr.Events); n > 0 {
@@ -146,6 +148,7 @@ func Replay(tr *Trace, inj Injector, sched []Action, bucketMs float64, hooks ...
 	for _, s := range res.PerPort {
 		toMbps(s)
 	}
+	recordReplay(1, res.Packets, time.Since(start))
 	return res
 }
 
