@@ -13,12 +13,14 @@
 //	p4rpctl [-addr host:9800] memwrite <program> <mem> <addr> <value>
 //	p4rpctl [-addr host:9800] snapshot
 //	p4rpctl [-addr host:9800] metrics [json]
+//	p4rpctl [-addr host:9800] top [iterations]
+//	p4rpctl [-addr host:9800] trace [owner] [limit]
 //
 // Against a fleet daemon (p4rpd -fleet N):
 //
 //	p4rpctl fleet deploy file.p4rp [replicas]
 //	p4rpctl fleet revoke <program>
-//	p4rpctl fleet list | members | util
+//	p4rpctl fleet list | members | util | top
 //	p4rpctl fleet memread <program> <mem> <addr> [count] [sum|max|first]
 package main
 
@@ -28,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"p4runpro/internal/wire"
 )
@@ -147,6 +150,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(body)
+	case "top":
+		// top [iterations]: one snapshot by default (scriptable); an
+		// explicit 0 refreshes at the daemon's sweep cadence until
+		// interrupted.
+		iters := 1
+		if len(args) > 1 {
+			iters = int(parse32(args[1]))
+		}
+		topLoop(iters, func() (wire.TelemetryProgramsResult, error) { return c.TelemetryPrograms() })
+	case "trace":
+		owner := ""
+		limit := 0
+		if len(args) > 1 {
+			owner = args[1]
+		}
+		if len(args) > 2 {
+			limit = int(parse32(args[2]))
+		}
+		res, err := c.TelemetryPostcards(owner, limit)
+		if err != nil {
+			fatal(err)
+		}
+		printPostcards(res, owner)
 	case "fleet":
 		need(args, 2)
 		fleetCmd(c, args[1:])
@@ -232,6 +258,12 @@ func fleetCmd(c *wire.Client, args []string) {
 			}
 		}
 		w.Flush()
+	case "top":
+		iters := 1
+		if len(args) > 1 {
+			iters = int(parse32(args[1]))
+		}
+		topLoop(iters, func() (wire.TelemetryProgramsResult, error) { return c.FleetTop() })
 	case "memread":
 		need(args, 4)
 		count := uint32(1)
@@ -252,6 +284,84 @@ func fleetCmd(c *wire.Client, args []string) {
 		fmt.Printf("aggregated %q over %d replicas\n", res.Agg, res.Replicas)
 	default:
 		usage()
+	}
+}
+
+// topLoop renders the per-program rate table, refreshing at the daemon's
+// sweep cadence. iters 0 loops until interrupted; a positive count prints
+// that many frames — one frame (the default) is the scriptable mode, with
+// no screen clearing.
+func topLoop(iters int, fetch func() (wire.TelemetryProgramsResult, error)) {
+	interactive := iters != 1
+	for i := 0; iters == 0 || i < iters; i++ {
+		res, err := fetch()
+		if err != nil {
+			fatal(err)
+		}
+		if interactive {
+			fmt.Print("\033[2J\033[H") // clear screen, home cursor
+		}
+		printTop(res)
+		if iters != 0 && i == iters-1 {
+			break
+		}
+		ivl := time.Duration(res.IntervalMs) * time.Millisecond
+		if ivl <= 0 {
+			ivl = time.Second
+		}
+		time.Sleep(ivl)
+	}
+}
+
+func printTop(res wire.TelemetryProgramsResult) {
+	fmt.Printf("switch: %.0f pps injected, %.0f pps forwarded (sweeps=%d, interval=%dms)\n",
+		res.SwitchPPS, res.ForwardedPPS, res.Sweeps, res.IntervalMs)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "PROGRAM\tID\tPPS\tHIT%\tHITS\tPKT HITS\tMEM WORDS\tMEM WPS\tENTRIES\tWINDOW")
+	for _, r := range res.Rows {
+		window := fmt.Sprintf("%d/%.1fs", r.Samples, float64(r.WindowMs)/1000)
+		name := r.Program
+		if len(r.Members) > 0 {
+			name = fmt.Sprintf("%s@%v", r.Program, r.Members)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%d\t%d\t%d\t%+.0f\t%d\t%s\n",
+			name, r.ProgramID, r.PPS, r.HitRatio*100, r.Hits, r.PacketHits,
+			r.MemWords, r.MemGrowthWPS, r.Entries, window)
+	}
+	w.Flush()
+}
+
+func printPostcards(res wire.TelemetryPostcardsResult, owner string) {
+	if res.Every == 0 {
+		fmt.Println("postcard sampling disabled (start p4rpd with -postcards N)")
+		return
+	}
+	filter := ""
+	if owner != "" {
+		filter = fmt.Sprintf(" owned by %s", owner)
+	}
+	fmt.Printf("sampling 1/%d packets, ring=%d, recorded=%d; showing %d%s\n",
+		res.Every, res.Keep, res.Count, len(res.Postcards), filter)
+	for _, pc := range res.Postcards {
+		trunc := ""
+		if pc.Truncated {
+			trunc = " (truncated)"
+		}
+		fmt.Printf("#%d %s in=%d -> %s out=%d passes=%d recircs=%d latency=%s%s\n",
+			pc.Seq, pc.Flow, pc.InPort, pc.Verdict, pc.OutPort, pc.Passes, pc.Recircs,
+			time.Duration(pc.LatencyNs), trunc)
+		for i, h := range pc.Hops {
+			match := "default"
+			if h.Match {
+				match = "entry"
+			}
+			ownerStr := ""
+			if h.Owner != "" {
+				ownerStr = " owner=" + h.Owner
+			}
+			fmt.Printf("  hop %d: %s stage %d table=%s action=%s (%s)%s\n",
+				i, h.Gress, h.Stage, h.Table, h.Action, match, ownerStr)
+		}
 	}
 }
 
@@ -284,6 +394,8 @@ commands:
   mcast <group> <port>...                  configure a multicast group
   snapshot                                 commit a journal snapshot and compact the WAL
   metrics [json]                           scrape the daemon's metrics registry
+  top [iterations]                         per-program rate table (default 1 snapshot; 0 = live view)
+  trace [owner] [limit]                    sampled packet postcards, optionally per program
 fleet commands (against p4rpd -fleet):
   fleet deploy <file.p4rp> [replicas]      place a unit on the fleet
   fleet revoke <program>                   revoke a unit everywhere
@@ -291,7 +403,8 @@ fleet commands (against p4rpd -fleet):
   fleet members                            member health and occupancy
   fleet util                               per-member per-RPB utilization
   fleet memread <prog> <mem> <addr> [count] [sum|max|first]
-                                           aggregate memory across replicas`)
+                                           aggregate memory across replicas
+  fleet top [iterations]                   fleet-wide per-program rate table`)
 	os.Exit(2)
 }
 

@@ -20,9 +20,16 @@
 // into the lock-free packet path under load. It is off by default and should
 // stay bound to localhost.
 //
+// With -metrics-addr ADDR an opt-in HTTP listener serves /metrics
+// (Prometheus text exposition of the controller's registry), /telemetry
+// (JSON scrape of the sweep engine plus sampled packet postcards), and
+// /healthz. The daemon always runs a telemetry sweep engine (drive it with
+// `p4rpctl top` / `p4rpctl trace`); -postcards N samples one in every N
+// packets into the postcard ring (default 1024, 0 disables sampling).
+//
 // Usage:
 //
-//	p4rpd [-listen :9800] [-r N] [-wal DIR] [-wal-sync always|interval|none] [-pprof 127.0.0.1:6060]
+//	p4rpd [-listen :9800] [-r N] [-wal DIR] [-wal-sync always|interval|none] [-pprof 127.0.0.1:6060] [-metrics-addr 127.0.0.1:9801] [-postcards 1024]
 //	p4rpd [-listen :9800] [-r N] [-wal DIR] -fleet 3 [-replicas 2]
 package main
 
@@ -42,7 +49,9 @@ import (
 	"p4runpro/internal/core"
 	"p4runpro/internal/fleet"
 	"p4runpro/internal/journal"
+	"p4runpro/internal/obs"
 	"p4runpro/internal/rmt"
+	"p4runpro/internal/telemetry"
 	"p4runpro/internal/wire"
 )
 
@@ -55,6 +64,9 @@ func main() {
 	walSync := flag.String("wal-sync", "always", "journal sync policy: always, interval, or none")
 	walSyncIvl := flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence for -wal-sync interval")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /telemetry, /healthz over HTTP on this address (empty disables)")
+	postcards := flag.Int("postcards", 1024, "sample one in every N packets as a postcard (0 disables)")
+	sweepIvl := flag.Duration("sweep-interval", time.Second, "telemetry sweep cadence")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -97,6 +109,27 @@ func main() {
 		return ct
 	}
 
+	// engines collects every telemetry sweep engine so shutdown stops them.
+	var engines []*telemetry.Engine
+	startEngine := func(ct *controlplane.Controller) *telemetry.Engine {
+		ct.SW.EnablePostcards(*postcards, 0)
+		eng := telemetry.New(ct, telemetry.Options{Interval: *sweepIvl})
+		eng.Start()
+		engines = append(engines, eng)
+		return eng
+	}
+	serveMetrics := func(reg *obs.Registry, eng *telemetry.Engine) {
+		if *metricsAddr == "" {
+			return
+		}
+		go func() {
+			log.Printf("p4rpd: metrics on http://%s/metrics (telemetry: /telemetry, health: /healthz)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, telemetry.Handler(reg, eng)); err != nil {
+				log.Printf("p4rpd: metrics listener: %v", err)
+			}
+		}()
+	}
+
 	var srv *wire.Server
 	if *fleetN > 0 {
 		f := fleet.New(fleet.Options{
@@ -110,7 +143,9 @@ func main() {
 			if err != nil {
 				log.Fatalf("p4rpd: provision member %d: %v", i+1, err)
 			}
-			if err := f.AddMember(name, fleet.Local(track(ct))); err != nil {
+			lb := fleet.Local(track(ct))
+			lb.Tel = startEngine(ct)
+			if err := f.AddMember(name, lb); err != nil {
 				log.Fatalf("p4rpd: add member %d: %v", i+1, err)
 			}
 			if n := len(ct.Programs()); n > 0 {
@@ -120,6 +155,9 @@ func main() {
 		f.Start()
 		defer f.Stop()
 		srv = fleet.NewWireServer(f, logger)
+		// The fleet daemon's HTTP surface exposes the fleet registry; the
+		// per-program fan-in lives behind `p4rpctl fleet top`.
+		serveMetrics(f.Obs, nil)
 		addr, err := srv.Listen(*listen)
 		if err != nil {
 			log.Fatalf("p4rpd: listen: %v", err)
@@ -133,7 +171,10 @@ func main() {
 			log.Fatalf("p4rpd: provision: %v", err)
 		}
 		track(ct)
+		eng := startEngine(ct)
 		srv = wire.NewServer(ct, logger)
+		telemetry.RegisterWire(srv, eng)
+		serveMetrics(ct.Obs, eng)
 		addr, err := srv.Listen(*listen)
 		if err != nil {
 			log.Fatalf("p4rpd: listen: %v", err)
@@ -151,6 +192,9 @@ func main() {
 	<-sig
 	fmt.Println("p4rpd: shutting down")
 	srv.Close()
+	for _, eng := range engines {
+		eng.Stop()
+	}
 	// Flush and close every journal so an orderly stop never loses the
 	// sync-interval tail.
 	for _, j := range journals {

@@ -328,6 +328,22 @@ func (ct *Controller) ProgramHits(name string) uint64 {
 	return total
 }
 
+// ProgramPacketHits counts packets attributed to a program: the sum of its
+// entry hits across the dataplane init (filter) tables only. Init entries
+// match once per packet per pass, so — unlike ProgramHits, which also counts
+// every executed RPB primitive — this approximates packets processed, the
+// quantity the telemetry engine turns into a per-program pps rate.
+func (ct *Controller) ProgramPacketHits(name string) uint64 {
+	if ct.Plane == nil {
+		return 0
+	}
+	var total uint64
+	for _, t := range ct.Plane.InitTables() {
+		total += t.OwnerHits(name)
+	}
+	return total
+}
+
 // Programs lists the linked programs.
 func (ct *Controller) Programs() []ProgramInfo {
 	names := ct.Compiler.Programs()

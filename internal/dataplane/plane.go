@@ -132,6 +132,18 @@ func (pl *Plane) InitTable(path pkt.ParseBitmap) (*rmt.Table, error) {
 	return t, nil
 }
 
+// InitTables returns every parsing path's filtering table. Unlike RPB
+// tables, whose entries hit once per executed primitive, an init-table entry
+// hits exactly once per matched packet per pass — which makes their owner
+// counters the right basis for per-program packet rates (telemetry).
+func (pl *Plane) InitTables() []*rmt.Table {
+	out := make([]*rmt.Table, 0, len(pl.initTables))
+	for _, t := range pl.initTables {
+		out = append(out, t)
+	}
+	return out
+}
+
 // RecircTable returns the recirculation block's table.
 func (pl *Plane) RecircTable() *rmt.Table { return pl.recircTbl }
 

@@ -24,9 +24,30 @@ type Backend interface {
 
 var _ Backend = (*wire.Client)(nil)
 
+// TelemetryBackend is the optional telemetry surface of a member: backends
+// whose daemon runs a sweep engine report per-program windowed rates for the
+// fleet.top fan-in. Checked by type assertion so Backend implementations
+// (including test fakes that embed Backend) need not provide it; members
+// without it simply contribute no rows.
+type TelemetryBackend interface {
+	TelemetryPrograms() (wire.TelemetryProgramsResult, error)
+}
+
+var _ TelemetryBackend = (*wire.Client)(nil)
+
+// TelemetrySource is what LocalBackend needs from a sweep engine — the
+// telemetry.Engine's Result method — declared locally so fleet does not
+// import the telemetry package.
+type TelemetrySource interface {
+	Result() wire.TelemetryProgramsResult
+}
+
 // LocalBackend adapts an in-process Controller to the Backend interface.
 type LocalBackend struct {
 	CT *controlplane.Controller
+	// Tel, when set, exposes the member's sweep engine for fleet.top
+	// (cmd/p4rpd -fleet attaches one engine per member).
+	Tel TelemetrySource
 }
 
 // Local wraps ct as a fleet member backend.
@@ -98,6 +119,16 @@ func (l *LocalBackend) Utilization() ([]wire.UtilizationRow, error) {
 
 // Status returns the local controller status line.
 func (l *LocalBackend) Status() (string, error) { return l.CT.String(), nil }
+
+// TelemetryPrograms reports the local sweep engine's scrape. A backend
+// without an attached engine truthfully reports zero rows rather than an
+// error — the member is healthy, it just isn't sweeping.
+func (l *LocalBackend) TelemetryPrograms() (wire.TelemetryProgramsResult, error) {
+	if l.Tel == nil {
+		return wire.TelemetryProgramsResult{}, nil
+	}
+	return l.Tel.Result(), nil
+}
 
 // DialMember connects to a member daemon with the client tuning the fleet
 // wants: bounded per-call deadlines (a hung member must not stall probes

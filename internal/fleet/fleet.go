@@ -508,6 +508,87 @@ func (f *Fleet) Programs() []wire.FleetProgramInfo {
 	return out
 }
 
+// Top fans out to live members that expose telemetry (TelemetryBackend)
+// and fans in one windowed-rate row per program: pps, hits, and footprint
+// summed across replicas, hit ratio recomputed against the fleet-wide
+// injection rate. Members that are Down, fail mid-scrape, or lack a sweep
+// engine are skipped — the answer degrades to the reachable subset instead
+// of failing, which is what keeps `p4rpctl fleet top` usable during an
+// outage.
+func (f *Fleet) Top() wire.TelemetryProgramsResult {
+	f.mu.Lock()
+	names := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	res := wire.TelemetryProgramsResult{}
+	rows := make(map[string]*wire.TelemetryProgramRow)
+	var order []string
+	for _, name := range names {
+		m, ok := f.member(name)
+		if !ok || f.stateOf(m) == Down {
+			continue
+		}
+		tb, ok := m.b.(TelemetryBackend)
+		if !ok {
+			continue
+		}
+		tr, err := tb.TelemetryPrograms()
+		if err != nil {
+			f.noteFailure(m, err)
+			continue
+		}
+		f.noteSuccess(m, nil)
+		res.SwitchPPS += tr.SwitchPPS
+		res.ForwardedPPS += tr.ForwardedPPS
+		res.Sweeps += tr.Sweeps
+		if tr.IntervalMs > res.IntervalMs {
+			res.IntervalMs = tr.IntervalMs
+		}
+		for _, r := range tr.Rows {
+			a, ok := rows[r.Program]
+			if !ok {
+				cp := r
+				cp.Members = nil
+				cp.HitRatio = 0
+				cp.RPBEntries = nil
+				a = &cp
+				rows[r.Program] = a
+				order = append(order, r.Program)
+			} else {
+				a.Hits += r.Hits
+				a.PacketHits += r.PacketHits
+				a.PPS += r.PPS
+				a.MemWords += r.MemWords
+				a.MemGrowthWPS += r.MemGrowthWPS
+				a.Entries += r.Entries
+				// The merged row reflects the least history any replica
+				// has: rates older than that are not comparable.
+				if r.Samples < a.Samples {
+					a.Samples = r.Samples
+				}
+				if r.WindowMs < a.WindowMs {
+					a.WindowMs = r.WindowMs
+				}
+			}
+			a.Members = append(a.Members, name)
+		}
+	}
+	res.Rows = make([]wire.TelemetryProgramRow, 0, len(rows))
+	for _, pname := range order {
+		r := rows[pname]
+		if res.SwitchPPS > 0 {
+			r.HitRatio = r.PPS / res.SwitchPPS
+		}
+		res.Rows = append(res.Rows, *r)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].PPS != res.Rows[j].PPS {
+			return res.Rows[i].PPS > res.Rows[j].PPS
+		}
+		return res.Rows[i].Program < res.Rows[j].Program
+	})
+	return res
+}
+
 // Utilization fans out per-member, per-RPB usage from live members.
 func (f *Fleet) Utilization() []wire.FleetUtilRow {
 	f.mu.Lock()

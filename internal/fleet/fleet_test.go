@@ -518,3 +518,133 @@ func TestReconcileAdoptsRejoinedMember(t *testing.T) {
 		t.Error("adoption should not revoke the survivor")
 	}
 }
+
+// fakeTel feeds a LocalBackend a canned telemetry scrape.
+type fakeTel struct{ res wire.TelemetryProgramsResult }
+
+func (f fakeTel) Result() wire.TelemetryProgramsResult { return f.res }
+
+// telFailBackend is a member whose telemetry verb always fails.
+type telFailBackend struct{ Backend }
+
+func (telFailBackend) TelemetryPrograms() (wire.TelemetryProgramsResult, error) {
+	return wire.TelemetryProgramsResult{}, errFlaky
+}
+
+func row(program string, pps float64, pkts uint64, samples int, windowMs int64) wire.TelemetryProgramRow {
+	return wire.TelemetryProgramRow{
+		Program: program, PPS: pps, PacketHits: pkts,
+		Hits: pkts * 2, MemWords: 64, Entries: 3,
+		Samples: samples, WindowMs: windowMs,
+	}
+}
+
+// TestFleetTop: the per-program fan-in merges member rows, skips Down
+// members and telemetry failures, and still answers during the outage.
+func TestFleetTop(t *testing.T) {
+	f := New(Options{})
+	add := func(name string, res wire.TelemetryProgramsResult) {
+		lb := Local(newLocalMember(t))
+		lb.Tel = fakeTel{res}
+		if err := f.AddMember(name, lb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("m1", wire.TelemetryProgramsResult{
+		Rows:      []wire.TelemetryProgramRow{row("a", 10, 50, 5, 4000), row("b", 5, 25, 5, 4000)},
+		SwitchPPS: 30, ForwardedPPS: 20, Sweeps: 7, IntervalMs: 1000,
+	})
+	add("m2", wire.TelemetryProgramsResult{
+		Rows:      []wire.TelemetryProgramRow{row("a", 20, 90, 3, 2000)},
+		SwitchPPS: 40, ForwardedPPS: 35, Sweeps: 9, IntervalMs: 2000,
+	})
+	// m3's telemetry verb crashes; m4 is marked Down outright. Neither may
+	// poison the answer.
+	if err := f.AddMember("m3", telFailBackend{Local(newLocalMember(t))}); err != nil {
+		t.Fatal(err)
+	}
+	add("m4", wire.TelemetryProgramsResult{
+		Rows: []wire.TelemetryProgramRow{row("ghost", 1000, 1, 1, 1)}, SwitchPPS: 1000,
+	})
+	m4, _ := f.member("m4")
+	f.mu.Lock()
+	m4.state = Down
+	f.mu.Unlock()
+
+	res := f.Top()
+	if res.SwitchPPS != 70 || res.ForwardedPPS != 55 || res.Sweeps != 16 || res.IntervalMs != 2000 {
+		t.Fatalf("aggregates = %+v", res)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	a, b := res.Rows[0], res.Rows[1]
+	if a.Program != "a" || b.Program != "b" {
+		t.Fatalf("row order = %s, %s", a.Program, b.Program)
+	}
+	if a.PPS != 30 || a.PacketHits != 140 || a.MemWords != 128 || a.Entries != 6 {
+		t.Fatalf("merged row a = %+v", a)
+	}
+	// The merged window reflects the least history any replica holds.
+	if a.Samples != 3 || a.WindowMs != 2000 {
+		t.Fatalf("merged window = samples %d, %dms", a.Samples, a.WindowMs)
+	}
+	if len(a.Members) != 2 || a.Members[0] != "m1" || a.Members[1] != "m2" {
+		t.Fatalf("row a members = %v", a.Members)
+	}
+	if len(b.Members) != 1 || b.Members[0] != "m1" {
+		t.Fatalf("row b members = %v", b.Members)
+	}
+	if got, want := a.HitRatio, 30.0/70; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+	// The outage was recorded against m3, not swallowed.
+	m3, _ := f.member("m3")
+	f.mu.Lock()
+	fails := m3.consecFails
+	f.mu.Unlock()
+	if fails == 0 {
+		t.Fatal("telemetry failure not noted against m3")
+	}
+	// A member without telemetry (plain LocalBackend) reports an empty
+	// scrape rather than an error.
+	lb := Local(newLocalMember(t))
+	if tr, err := lb.TelemetryPrograms(); err != nil || len(tr.Rows) != 0 {
+		t.Fatalf("bare local backend telemetry = %+v, %v", tr, err)
+	}
+}
+
+// TestFleetTopOverWire: the fleet.top verb round-trips through the wire
+// server and typed client.
+func TestFleetTopOverWire(t *testing.T) {
+	f := New(Options{})
+	lb := Local(newLocalMember(t))
+	lb.Tel = fakeTel{wire.TelemetryProgramsResult{
+		Rows:      []wire.TelemetryProgramRow{row("a", 12, 6, 2, 500)},
+		SwitchPPS: 12, ForwardedPPS: 12, Sweeps: 2, IntervalMs: 250,
+	}}
+	if err := f.AddMember("m1", lb); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWireServer(f, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.FleetTop()
+	if err != nil {
+		t.Fatalf("fleet.top: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Program != "a" || res.Rows[0].PPS != 12 {
+		t.Fatalf("fleet.top over wire = %+v", res)
+	}
+	if len(res.Rows[0].Members) != 1 || res.Rows[0].Members[0] != "m1" {
+		t.Fatalf("members over wire = %v", res.Rows[0].Members)
+	}
+}

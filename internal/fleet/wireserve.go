@@ -34,6 +34,9 @@ func RegisterWire(s *wire.Server, f *Fleet) {
 	s.Handle(wire.MethodFleetUtilization, func(json.RawMessage) (any, error) {
 		return f.Utilization(), nil
 	})
+	s.Handle(wire.MethodFleetTop, func(json.RawMessage) (any, error) {
+		return f.Top(), nil
+	})
 	s.Handle(wire.MethodFleetMemRead, func(params json.RawMessage) (any, error) {
 		var p wire.FleetMemReadParams
 		if err := json.Unmarshal(params, &p); err != nil {

@@ -187,6 +187,33 @@ func TestRegistryGetOrCreate(t *testing.T) {
 	r.Gauge("x_total", "help")
 }
 
+func TestRegistryLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", "help", L("b", "2"), L("a", "1"))
+	b := r.Counter("y_total", "help", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order must not split one logical series into two")
+	}
+	a.Add(5)
+	exp := r.Prometheus()
+	if !strings.Contains(exp, `y_total{a="1",b="2"} 5`) {
+		t.Fatalf("labels not rendered in sorted key order:\n%s", exp)
+	}
+	if strings.Contains(exp, `y_total{b="2",a="1"}`) {
+		t.Fatalf("registration-order labels leaked into exposition:\n%s", exp)
+	}
+}
+
+func TestRegistryDuplicateLabelKeyPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label keys in one set must panic")
+		}
+	}()
+	r.Counter("z_total", "help", L("rpb", "1"), L("rpb", "2"))
+}
+
 func TestPrometheusExpositionGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("p4runpro_deploys_total", "Programs deployed.", L("outcome", "ok")).Add(3)
@@ -309,7 +336,7 @@ func TestLoggerCounts(t *testing.T) {
 	if !strings.Contains(out, "info: accepted 1.2.3.4") || !strings.Contains(out, "error: request failed: boom") {
 		t.Fatalf("output = %q", out)
 	}
-	if !strings.Contains(r.Prometheus(), `p4runpro_log_messages_total{subsystem="wire",level="error"} 2`) {
+	if !strings.Contains(r.Prometheus(), `p4runpro_log_messages_total{level="error",subsystem="wire"} 2`) {
 		t.Fatalf("registry missing counted logs:\n%s", r.Prometheus())
 	}
 	// Nil-output logger still counts.

@@ -59,12 +59,22 @@ func NewRegistry() *Registry {
 	return &Registry{byKey: make(map[string]*series), frozen: make(map[string]string)}
 }
 
+// renderLabels renders a label set in canonical form: sorted by key, so the
+// same logical series is one series no matter what order callers list the
+// labels in. Two labels with the same key would render an exposition line no
+// Prometheus parser accepts, so that's a registration bug and panics.
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
-	parts := make([]string, len(labels))
-	for i, l := range labels {
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, l := range sorted {
+		if i > 0 && sorted[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label key %q in label set", l.Key))
+		}
 		parts[i] = l.Key + `="` + l.Value + `"`
 	}
 	return strings.Join(parts, ",")

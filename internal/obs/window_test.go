@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowRate(t *testing.T) {
+	w := NewWindow(8)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("empty window rate = %v, want 0", got)
+	}
+	t0 := time.Unix(1000, 0)
+	w.Observe(t0, 100)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("single-sample rate = %v, want 0", got)
+	}
+	w.Observe(t0.Add(2*time.Second), 300)
+	if got := w.Rate(); got != 100 {
+		t.Fatalf("rate = %v, want 100", got)
+	}
+	if got := w.Span(); got != 2*time.Second {
+		t.Fatalf("span = %v, want 2s", got)
+	}
+	if v, ok := w.Last(); !ok || v != 300 {
+		t.Fatalf("last = %v,%v, want 300,true", v, ok)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	t0 := time.Unix(1000, 0)
+	// Samples at t+0s:0, t+1s:10, t+2s:20, t+3s:40. Keep=3 retains the last
+	// three, so the rate spans [t+1s,t+3s]: (40-10)/2 = 15.
+	for i, v := range []uint64{0, 10, 20, 40} {
+		w.Observe(t0.Add(time.Duration(i)*time.Second), v)
+	}
+	if got := w.Len(); got != 3 {
+		t.Fatalf("len = %d, want 3", got)
+	}
+	if got := w.Rate(); got != 15 {
+		t.Fatalf("rate after eviction = %v, want 15", got)
+	}
+}
+
+func TestWindowNegativeRate(t *testing.T) {
+	// A counter reset (or shrinking occupancy) between samples must produce a
+	// negative rate, not a huge unsigned wraparound.
+	w := NewWindow(4)
+	t0 := time.Unix(1000, 0)
+	w.Observe(t0, 500)
+	w.Observe(t0.Add(time.Second), 100)
+	if got := w.Rate(); got != -400 {
+		t.Fatalf("rate = %v, want -400", got)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	t0 := time.Unix(1000, 0)
+	w.Observe(t0, 1)
+	w.Observe(t0.Add(time.Second), 2)
+	w.Reset()
+	if got := w.Len(); got != 0 {
+		t.Fatalf("len after reset = %d, want 0", got)
+	}
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("rate after reset = %v, want 0", got)
+	}
+	if _, ok := w.Last(); ok {
+		t.Fatal("Last after reset reported a sample")
+	}
+	// Reusable after reset.
+	w.Observe(t0.Add(10*time.Second), 0)
+	w.Observe(t0.Add(11*time.Second), 7)
+	if got := w.Rate(); got != 7 {
+		t.Fatalf("rate after reuse = %v, want 7", got)
+	}
+}
+
+func TestWindowZeroTimeSpan(t *testing.T) {
+	w := NewWindow(4)
+	t0 := time.Unix(1000, 0)
+	w.Observe(t0, 1)
+	w.Observe(t0, 100)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("zero-span rate = %v, want 0", got)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(16)
+	var wg sync.WaitGroup
+	start := time.Unix(1000, 0)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(start.Add(time.Duration(i)*time.Millisecond), uint64(i))
+				_ = w.Rate()
+				_ = w.Len()
+				_, _ = w.Last()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Len(); got != 16 {
+		t.Fatalf("len = %d, want 16", got)
+	}
+}

@@ -90,6 +90,12 @@ type PHV struct {
 	keyBuf []uint32
 	gress  Gress
 	stage  int
+
+	// trace, when non-nil, marks this packet as postcard-sampled: each
+	// executed match-action hop is recorded into it (see postcard.go). Set
+	// by Switch.inject for the sampled 1-in-N; nil on the fast path, so the
+	// per-hop cost for unsampled packets is one pointer compare.
+	trace *pathTrace
 }
 
 // NewPHV wraps a parsed packet for one pipeline pass. A nil packet yields a

@@ -184,6 +184,10 @@ type Switch struct {
 	met      switchMetrics
 	instrOff bool // zero value = instrumented (the default)
 
+	// post holds the packet-postcard sampling state (see postcard.go):
+	// disabled by default, one atomic load per packet when off.
+	post postcardState
+
 	// queueDepth is the traffic manager's simulated queue occupancy,
 	// surfaced to programs as the meta.qdepth intrinsic.
 	queueDepth atomic.Uint32
@@ -374,22 +378,28 @@ func (s *Switch) AccessMemory(p *PHV, op SALUOp, addr, operand uint32) (uint32, 
 // chip's parallel packet-processing engines. Per-flow ordering is the
 // caller's concern (see traffic.ReplayParallel's 5-tuple sharding).
 func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
-	res := s.inject(p, inPort)
+	tr := s.samplePostcard()
+	res := s.inject(p, inPort, tr)
 	if !s.instrOff {
 		s.met.packets.Add(1)
 		s.met.passes.Add(uint64(res.Passes))
 		s.met.verdicts[res.Verdict].Add(1)
 	}
+	if tr != nil {
+		s.recordPostcard(tr, p, inPort, res)
+	}
 	return res
 }
 
-func (s *Switch) inject(p *pkt.Packet, inPort int) Result {
+func (s *Switch) inject(p *pkt.Packet, inPort int, tr *pathTrace) Result {
 	if inPort >= 0 && inPort < len(s.rx) {
 		s.rx[inPort].add(p.WireLen)
 	}
 	phv := s.phvPool.Get().(*PHV)
 	phv.reset(s.layout, p, inPort)
+	phv.trace = tr
 	res := s.run(phv, p, inPort)
+	phv.trace = nil
 	s.phvPool.Put(phv)
 	return res
 }
@@ -426,6 +436,9 @@ func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
 		s.recircBytes.Add(uint64(p.WireLen))
 		if !s.instrOff {
 			s.met.recircs.Add(1)
+		}
+		if phv.trace != nil {
+			phv.trace.recircs++
 		}
 		phv.ResetPass()
 		if s.onRecirc != nil {

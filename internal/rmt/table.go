@@ -322,6 +322,17 @@ func (t *Table) Apply(p *PHV) bool {
 	default:
 		t.misses.Add(1)
 	}
+	if p.trace != nil && (e != nil || st.defaultFn != nil) {
+		// Postcard-sampled packet: record the executed hop. Pure misses (no
+		// default) are skipped — no action ran, so there is no step to trace.
+		h := PostcardHop{Gress: t.Gress, Stage: t.Stage, Table: t.Name}
+		if e != nil {
+			h.Action, h.Owner, h.Match = e.Action, e.Owner, true
+		} else {
+			h.Action = st.defaultName
+		}
+		p.trace.hop(h)
+	}
 	if fn == nil {
 		return false
 	}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"p4runpro/internal/obs"
+	"p4runpro/internal/wire"
+)
+
+// Handler serves the daemon's HTTP observability surface (cmd/p4rpd's
+// -metrics-addr listener):
+//
+//	/metrics    Prometheus text exposition of reg
+//	/telemetry  JSON: sweep-engine scrape + postcards (?owner=&limit=)
+//	/healthz    liveness probe ("ok")
+//
+// eng may be nil (a daemon running without a sweep engine, e.g. fleet mode
+// before per-member engines attach): /metrics and /healthz still work and
+// /telemetry reports the engine as absent.
+func Handler(reg *obs.Registry, eng *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-write
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck // client gone mid-write
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if eng == nil {
+			http.Error(w, `{"error":"no telemetry engine"}`, http.StatusNotFound)
+			return
+		}
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil {
+				limit = n
+			}
+		}
+		body := struct {
+			Programs  wire.TelemetryProgramsResult  `json:"programs"`
+			Postcards wire.TelemetryPostcardsResult `json:"postcards"`
+		}{
+			Programs:  eng.Result(),
+			Postcards: eng.Postcards(r.URL.Query().Get("owner"), limit),
+		}
+		json.NewEncoder(w).Encode(body) //nolint:errcheck // client gone mid-write
+	})
+	return mux
+}

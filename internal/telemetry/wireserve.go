@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"p4runpro/internal/wire"
+)
+
+// RegisterWire attaches the telemetry.* verbs to a wire server, making the
+// sweep engine drivable by wire.Client's Telemetry* methods and
+// cmd/p4rpctl's top/trace subcommands. Mirrors fleet.RegisterWire: the
+// handlers attach through Handle so wire never imports telemetry.
+func RegisterWire(s *wire.Server, e *Engine) {
+	s.Handle(wire.MethodTelemetryPrograms, func(json.RawMessage) (any, error) {
+		return e.Result(), nil
+	})
+	s.Handle(wire.MethodTelemetryPostcards, func(params json.RawMessage) (any, error) {
+		var p wire.TelemetryPostcardsParams
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+		}
+		return e.Postcards(p.Owner, p.Limit), nil
+	})
+}

@@ -73,6 +73,7 @@ type Result struct {
 // heavy hitters — at the measurement cadence.
 func Replay(tr *Trace, inj Injector, sched []Action, bucketMs float64, hooks ...func(bucket int)) *Result {
 	start := time.Now()
+	beginReplay(1)
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtMs < sched[j].AtMs })
 	durationMs := 0.0
 	if n := len(tr.Events); n > 0 {
@@ -103,6 +104,9 @@ func Replay(tr *Trace, inj Injector, sched []Action, bucketMs float64, hooks ...
 		r := inj.Inject(ev.Pkt, ev.Port)
 		res.Verdicts[r.Verdict]++
 		res.Packets++
+		if res.Packets%replayTickEvery == 0 {
+			tickReplayWorker(0, res.Packets)
+		}
 		b := int(ev.AtMs / bucketMs)
 		if b >= buckets {
 			b = buckets - 1

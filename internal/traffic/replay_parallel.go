@@ -99,6 +99,7 @@ func ReplayParallel(tr *Trace, inj Injector, sched []Action, bucketMs float64, w
 		return Replay(tr, inj, sched, bucketMs, hooks...)
 	}
 	start := time.Now()
+	beginReplay(workers)
 
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtMs < sched[j].AtMs })
 	durationMs := 0.0
@@ -145,6 +146,9 @@ func ReplayParallel(tr *Trace, inj Injector, sched []Action, bucketMs float64, w
 					ev := sh[i]
 					r := inj.Inject(ev.Pkt, ev.Port)
 					acc.record(ev, r, bucketMs, buckets)
+					if acc.packets%replayTickEvery == 0 {
+						tickReplayWorker(w, acc.packets)
+					}
 					i++
 				}
 				cursors[w] = i

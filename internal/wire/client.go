@@ -330,6 +330,30 @@ func (c *Client) FleetUtilization() ([]FleetUtilRow, error) {
 	return out, err
 }
 
+// TelemetryPrograms fetches one scrape of the daemon's telemetry sweep
+// engine: per-program windowed rates plus switch-wide rates.
+func (c *Client) TelemetryPrograms() (TelemetryProgramsResult, error) {
+	var out TelemetryProgramsResult
+	err := c.call(MethodTelemetryPrograms, nil, &out)
+	return out, err
+}
+
+// TelemetryPostcards fetches up to limit sampled packet postcards, oldest
+// first, optionally filtered to packets that matched entries of owner.
+func (c *Client) TelemetryPostcards(owner string, limit int) (TelemetryPostcardsResult, error) {
+	var out TelemetryPostcardsResult
+	err := c.call(MethodTelemetryPostcards, TelemetryPostcardsParams{Owner: owner, Limit: limit}, &out)
+	return out, err
+}
+
+// FleetTop fetches the fleet-wide fan-in of per-program telemetry, merged
+// across reachable members.
+func (c *Client) FleetTop() (TelemetryProgramsResult, error) {
+	var out TelemetryProgramsResult
+	err := c.call(MethodFleetTop, nil, &out)
+	return out, err
+}
+
 // FleetMemRead reads a program's virtual memory across its replicas,
 // aggregated by agg (FleetAggSum when empty).
 func (c *Client) FleetMemRead(program, mem string, addr, count uint32, agg string) (FleetMemReadResult, error) {

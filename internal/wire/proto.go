@@ -163,6 +163,98 @@ type FleetMemReadResult struct {
 	Agg      string   `json:"agg"`
 }
 
+// Telemetry method names, served by a daemon whose controller runs a
+// telemetry sweep engine (internal/telemetry). Like the fleet verbs, the
+// handlers attach through Server.Handle so wire stays import-free of the
+// telemetry package; this file defines only the shared DTOs.
+const (
+	MethodTelemetryPrograms  = "telemetry.programs"
+	MethodTelemetryPostcards = "telemetry.postcards"
+	MethodFleetTop           = "fleet.top"
+)
+
+// TelemetryProgramRow is one program's windowed runtime telemetry: cumulative
+// counters plus rates computed by the sweep engine over its sample window.
+type TelemetryProgramRow struct {
+	Program   string `json:"program"`
+	ProgramID uint16 `json:"program_id"`
+	// Hits counts every entry hit the program owns (one per executed
+	// primitive); PacketHits counts init-table hits only (one per matched
+	// packet per pass) and is the basis for PPS.
+	Hits       uint64  `json:"hits"`
+	PacketHits uint64  `json:"packet_hits"`
+	PPS        float64 `json:"pps"`
+	// HitRatio is the fraction of the switch's injected packets this
+	// program matched over the window (windowed packet-hit rate over
+	// windowed injection rate); 0 when the switch was idle.
+	HitRatio float64 `json:"hit_ratio"`
+	MemWords uint32  `json:"mem_words"`
+	// MemGrowthWPS is the windowed growth rate of the program's allocated
+	// stateful words per second — negative when an incremental update
+	// shrank the allocation.
+	MemGrowthWPS float64 `json:"mem_growth_wps"`
+	Entries      int     `json:"entries"`
+	// RPBEntries maps RPB id -> entries the program holds in that block.
+	RPBEntries map[int]int `json:"rpb_entries,omitempty"`
+	Samples    int         `json:"samples"`   // sweep samples behind the rates
+	WindowMs   int64       `json:"window_ms"` // time span those samples cover
+	// Members lists contributing fleet members in a fleet.top fan-in row;
+	// empty for a single switch.
+	Members []string `json:"members,omitempty"`
+}
+
+// TelemetryProgramsResult is one scrape of the sweep engine.
+type TelemetryProgramsResult struct {
+	Rows []TelemetryProgramRow `json:"rows"`
+	// SwitchPPS is the windowed injection rate; ForwardedPPS counts only
+	// packets the traffic manager forwarded out a port.
+	SwitchPPS    float64 `json:"switch_pps"`
+	ForwardedPPS float64 `json:"forwarded_pps"`
+	Sweeps       uint64  `json:"sweeps"`
+	IntervalMs   int64   `json:"interval_ms"`
+}
+
+// TelemetryPostcardsParams filters the postcard ring: Owner restricts to
+// packets that matched an entry of that program; Limit bounds the count
+// (0 = the whole ring).
+type TelemetryPostcardsParams struct {
+	Owner string `json:"owner,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// PostcardHopJSON is one executed match-action step of a sampled packet.
+type PostcardHopJSON struct {
+	Gress  string `json:"gress"`
+	Stage  int    `json:"stage"`
+	Table  string `json:"table"`
+	Action string `json:"action,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+	Match  bool   `json:"match"`
+}
+
+// PostcardJSON is one sampled packet's recorded path.
+type PostcardJSON struct {
+	Seq       uint64            `json:"seq"`
+	InPort    int               `json:"in_port"`
+	Flow      string            `json:"flow"`
+	Verdict   string            `json:"verdict"`
+	OutPort   int               `json:"out_port"`
+	Passes    int               `json:"passes"`
+	Recircs   int               `json:"recircs"`
+	LatencyNs int64             `json:"latency_ns"`
+	Hops      []PostcardHopJSON `json:"hops"`
+	Truncated bool              `json:"truncated,omitempty"`
+}
+
+// TelemetryPostcardsResult carries the sampling config and the matching
+// postcards, oldest first.
+type TelemetryPostcardsResult struct {
+	Every     int            `json:"every"` // sample 1 in every N; 0 = disabled
+	Keep      int            `json:"keep"`  // ring capacity
+	Count     uint64         `json:"count"` // postcards recorded since boot
+	Postcards []PostcardJSON `json:"postcards"`
+}
+
 // Metrics exposition formats accepted by MethodMetrics.
 const (
 	MetricsFormatPrometheus = "prometheus"

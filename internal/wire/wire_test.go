@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -377,5 +378,62 @@ func TestSnapshotOverWire(t *testing.T) {
 	}
 	if res.SegmentBytes != 0 {
 		t.Errorf("active segment %dB after compaction, want 0", res.SegmentBytes)
+	}
+}
+
+// TestConcurrentMetricsScrape: many clients scraping the metrics verb while
+// traffic is injected must neither race (run with -race) nor observe a
+// malformed exposition.
+func TestConcurrentMetricsScrape(t *testing.T) {
+	srv, c, _ := startServer(t)
+	if _, err := c.Deploy(testProgram); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.ln.Addr().String()
+
+	const scrapers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, scrapers+1)
+
+	// One writer keeps the counters moving while the scrapers read.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 1, 2, 3), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+		frame := pkt.NewUDP(flow, 100).Marshal()
+		for i := 0; i < 200; i++ {
+			if _, err := c.Inject(frame, 4); err != nil {
+				errs <- fmt.Errorf("inject: %w", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc, err := Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("dial: %w", err)
+				return
+			}
+			defer sc.Close()
+			for j := 0; j < 50; j++ {
+				body, err := sc.Metrics("")
+				if err != nil {
+					errs <- fmt.Errorf("scrape: %w", err)
+					return
+				}
+				if !strings.Contains(body, "p4runpro_rmt_packets_total") {
+					errs <- fmt.Errorf("scrape %d missing packet counter", j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
