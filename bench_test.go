@@ -293,7 +293,8 @@ func BenchmarkFigure13dHHPath(b *testing.B) {
 }
 
 // BenchmarkPipelineForwardOnly is the baseline per-packet cost of the
-// simulated pipeline with a single forwarding program.
+// simulated pipeline with a single forwarding program (compiled plan, the
+// default path; see BenchmarkForwardPath for the side-by-side).
 func BenchmarkPipelineForwardOnly(b *testing.B) {
 	ct := mustOpen(b)
 	if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
@@ -301,9 +302,66 @@ func BenchmarkPipelineForwardOnly(b *testing.B) {
 	}
 	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}
 	p := pkt.NewUDP(flow, 512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ct.SW.Inject(p, 1)
+	}
+}
+
+// BenchmarkForwardPath measures the forward-only per-packet cost on the
+// interpreted tables and on the compiled pipeline plan — the headline
+// speedup of the link-time lowering (docs/PERFORMANCE.md). The acceptance
+// bound is the compiled case: <= 1000 ns/op at 0 allocs/op, >= 2x the
+// interpreted figure.
+func BenchmarkForwardPath(b *testing.B) {
+	for _, compiled := range []bool{false, true} {
+		name := "interpreted"
+		if compiled {
+			name = "compiled"
+		}
+		b.Run(name, func(b *testing.B) {
+			ct := mustOpen(b)
+			if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+				b.Fatal(err)
+			}
+			ct.SetCompile(compiled)
+			if _, ok := ct.SW.CompiledPlan(); ok != compiled {
+				b.Fatalf("compiled plan published = %v, want %v", ok, compiled)
+			}
+			flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}
+			p := pkt.NewUDP(flow, 512)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ct.SW.Inject(p, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkInjectBatch measures the batched injection API against per-packet
+// Inject on the compiled plan: one PHV checkout and one metrics flush per
+// 64-packet burst instead of per packet.
+func BenchmarkInjectBatch(b *testing.B) {
+	ct := mustOpen(b)
+	if _, err := ct.Deploy("program fwd(<hdr.ipv4.dst, 0, 0>) { FORWARD(2); }"); err != nil {
+		b.Fatal(err)
+	}
+	flow := pkt.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}
+	p := pkt.NewUDP(flow, 512)
+	batch := make([]rmt.BatchItem, 64)
+	for i := range batch {
+		batch[i] = rmt.BatchItem{Pkt: p, Port: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		ct.SW.InjectBatch(batch)
+	}
+	b.StopTimer()
+	if batch[0].Res.Verdict != rmt.VerdictForwarded {
+		b.Fatalf("verdict %v", batch[0].Res.Verdict)
 	}
 }
 

@@ -1,0 +1,49 @@
+package p4runpro
+
+// TestDocLinks is the doc-link checker the CI doc step runs: every relative
+// link in README.md and docs/*.md must resolve to a file or directory in the
+// repository, so documentation reorganizations can't silently strand
+// readers. External (scheme-prefixed) links and intra-page anchors are out
+// of scope.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 2 {
+		t.Fatalf("expected README.md and docs/*.md, found %v", files)
+	}
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure anchor
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}

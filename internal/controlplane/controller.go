@@ -9,6 +9,7 @@ package controlplane
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"p4runpro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"p4runpro/internal/obs"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/rmt"
+	"p4runpro/internal/rmt/compile"
 	"p4runpro/internal/smt"
 )
 
@@ -44,7 +46,12 @@ type Controller struct {
 	mDeployNs, mRevokeNs, mMemOpNs             *obs.Histogram
 	cDeployOK, cDeployErr                      *obs.Counter
 	cRevokeOK, cRevokeErr, cMemOpOK, cMemOpErr *obs.Counter
-	cEntries                                   *obs.Counter
+	cEntries, cRecompiles                      *obs.Counter
+
+	// compileOff disables the compiled packet path (SetCompile). The zero
+	// value keeps compilation on: every mutating operation recompiles the
+	// switch's pipeline plan after it lands.
+	compileOff atomic.Bool
 }
 
 // New creates a switch with cfg, provisions the P4runpro data plane once
@@ -58,7 +65,34 @@ func New(cfg rmt.Config, opt core.Options) (*Controller, error) {
 	}
 	ct := &Controller{SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt)}
 	ct.initMetrics()
+	ct.recompile()
 	return ct, nil
+}
+
+// SetCompile toggles the compiled packet path. It is on by default: the
+// controller recompiles the switch's pipeline plan after every mutating
+// operation (deploy, revoke, case update), so traffic between updates runs
+// on lowered plans. Disabling retires the current plan and leaves the switch
+// interpreted — used by benchmarks and the equivalence test to pin one path.
+func (ct *Controller) SetCompile(enabled bool) {
+	ct.compileOff.Store(!enabled)
+	if enabled {
+		ct.recompile()
+	} else {
+		compile.Invalidate(ct.SW)
+	}
+}
+
+// recompile refreshes the compiled pipeline plan after a mutating operation.
+// Failure is benign — the mutation already invalidated any stale plan, so
+// the switch falls back to the interpreted path until the next recompile.
+func (ct *Controller) recompile() {
+	if ct.compileOff.Load() {
+		return
+	}
+	if _, ok := compile.Recompile(ct.SW); ok {
+		ct.cRecompiles.Add(1)
+	}
 }
 
 // DeployReport quantifies one program deployment (§6.2.1): parsing and
@@ -111,6 +145,7 @@ func (ct *Controller) applyDeploy(src string) ([]DeployReport, error) {
 			}
 		}
 		observeOp(ct.mDeployNs, ct.cDeployOK, ct.cDeployErr, start, err)
+		ct.recompile()
 		return nil, err
 	}
 	reports := make([]DeployReport, 0, len(lps))
@@ -130,6 +165,7 @@ func (ct *Controller) applyDeploy(src string) ([]DeployReport, error) {
 		})
 	}
 	observeOp(ct.mDeployNs, ct.cDeployOK, ct.cDeployErr, start, err)
+	ct.recompile()
 	return reports, err
 }
 
@@ -162,6 +198,7 @@ func (ct *Controller) applyRevoke(name string) (RevokeReport, error) {
 	start := time.Now()
 	st, err := ct.Compiler.Revoke(name)
 	observeOp(ct.mRevokeNs, ct.cRevokeOK, ct.cRevokeErr, start, err)
+	ct.recompile()
 	if err != nil {
 		return RevokeReport{}, err
 	}
@@ -195,6 +232,7 @@ func (ct *Controller) AddCases(program string, branchDepth int, src string) ([]c
 
 func (ct *Controller) applyAddCases(program string, branchDepth int, src string) ([]core.AddedCase, time.Duration, error) {
 	added, err := ct.Compiler.AddCases(program, branchDepth, src)
+	ct.recompile()
 	entries := 0
 	for _, a := range added {
 		entries += a.Entries
@@ -205,7 +243,9 @@ func (ct *Controller) applyAddCases(program string, branchDepth int, src string)
 // RemoveCase deletes a runtime-added case branch from a running program.
 func (ct *Controller) RemoveCase(program string, branchID int) error {
 	if ct.jrn == nil {
-		return ct.Compiler.RemoveCase(program, branchID)
+		err := ct.Compiler.RemoveCase(program, branchID)
+		ct.recompile()
+		return err
 	}
 	ct.jrn.mu.Lock()
 	defer ct.jrn.mu.Unlock()
@@ -214,6 +254,7 @@ func (ct *Controller) RemoveCase(program string, branchID int) error {
 		return err
 	}
 	err := ct.Compiler.RemoveCase(program, branchID)
+	ct.recompile()
 	if err == nil {
 		ct.jrn.trackCaseOp(program, rec)
 	}

@@ -33,6 +33,15 @@ func (ct *Controller) initMetrics() {
 	ct.cMemOpErr = reg.Counter("p4runpro_memops_total", "Memory operations by outcome.", obs.L("outcome", "error"))
 	ct.cEntries = reg.Counter("p4runpro_entries_installed_total",
 		"Table entries installed by successful deploys.")
+	ct.cRecompiles = reg.Counter("p4runpro_plan_recompiles_total",
+		"Pipeline-plan recompilations published after mutating operations.")
+
+	// Compiled-plan occupancy, read from the switch's published plan at
+	// scrape; both report zero while the switch runs interpreted.
+	reg.GaugeFunc("p4runpro_plan_steps", "Lowered table applications in the published pipeline plan.",
+		func() float64 { st, _ := ct.SW.CompiledPlan(); return float64(st.Steps) })
+	reg.GaugeFunc("p4runpro_plan_entries", "Pre-bound table entries in the published pipeline plan.",
+		func() float64 { st, _ := ct.SW.CompiledPlan(); return float64(st.Entries) })
 
 	reg.GaugeFunc("p4runpro_programs_linked", "Programs currently linked.",
 		func() float64 { return float64(len(ct.Compiler.Programs())) })

@@ -79,6 +79,12 @@ func (pl *Plane) provisionRPBs() error {
 		if err != nil {
 			return err
 		}
+		// Declare the key layout so the plan compiler can lower rpbKeyFunc's
+		// six string-keyed Get calls into direct container reads (field order
+		// must match the rk* key indices above).
+		if err := t.SetPHVKeyFields(pl.SW.PHVLayout(), FieldProg, FieldBranch, FieldRecirc, FieldHAR, FieldSAR, FieldMAR); err != nil {
+			return err
+		}
 		if err := pl.registerActions(t, g, stage); err != nil {
 			return err
 		}
@@ -238,6 +244,9 @@ func (pl *Plane) provisionRecircBlock() error {
 		return k
 	})
 	if err != nil {
+		return err
+	}
+	if err := t.SetPHVKeyFields(pl.SW.PHVLayout(), FieldProg, FieldBranch, FieldRecirc); err != nil {
 		return err
 	}
 	if err := t.RegisterAction("recirculate", 2, func(p *rmt.PHV, _ []uint32) {

@@ -48,6 +48,16 @@ func (l *PHVLayout) Define(name string, bits int) error {
 // Bits returns the allocated PHV bits.
 func (l *PHVLayout) Bits() int { return l.bits }
 
+// Index resolves a field name to its container index in the PHV value
+// vector. The plan compiler uses pre-resolved indices to lower table key
+// extraction into direct container reads (see Table.SetPHVKeyFields); the
+// layout is immutable after provisioning, so a resolved index stays valid
+// for the lifetime of the switch.
+func (l *PHVLayout) Index(name string) (int, bool) {
+	f, ok := l.fields[name]
+	return f.index, ok
+}
+
 // Fields returns the defined field names in a stable order.
 func (l *PHVLayout) Fields() []string {
 	out := append([]string(nil), l.order...)
@@ -134,6 +144,16 @@ func (p *PHV) reset(layout *PHVLayout, q *pkt.Packet, ingressPort int) {
 		p.memTouched[i] = false
 	}
 	p.gress, p.stage = Ingress, 0
+}
+
+// keyScratchRaw returns the n-word scratch slice without zeroing it, for
+// compiled key extractors that overwrite every slot (plan.go). Same
+// lifetime contract as KeyScratch.
+func (p *PHV) keyScratchRaw(n int) []uint32 {
+	if cap(p.keyBuf) < n {
+		p.keyBuf = make([]uint32, n)
+	}
+	return p.keyBuf[:n]
 }
 
 // KeyScratch returns a zeroed n-word scratch slice owned by this PHV, for

@@ -1,0 +1,277 @@
+package rmt
+
+import "sync/atomic"
+
+// This file is the switch half of the compiled packet path (the link-time
+// pass that drives it lives in internal/rmt/compile). Compile lowers the
+// published table snapshots of every occupied stage into a pipelinePlan — a
+// flat array of pre-bound match-action steps — and publishes it through an
+// atomic pointer exactly like the interpreted path's table snapshots. The
+// lowering buys three things the interpreter pays for per packet per stage:
+//
+//   - key extraction: tables that declared their key fields with
+//     SetPHVKeyFields match on direct PHV container reads (pre-resolved
+//     integer indices) instead of string-keyed map lookups;
+//   - action binding: each entry's action function and parameter slice are
+//     resolved once at compile time instead of via the action map per hit;
+//   - dispatch: a pass walks a dense []planStep instead of re-loading each
+//     table's snapshot pointer and re-deriving its stage placement.
+//
+// Correctness contract: a compiled step replicates Table.Apply bit for bit —
+// same lookup order (priority-sorted bucket first-match, then the wildcard
+// list with the same break conditions), same hit/miss/entry counters, same
+// postcard hops, same per-stage lookup metrics. The equivalence test gate at
+// the repo root replays identical traffic through both paths and diffs
+// verdicts, ports, and SALU words.
+//
+// Staleness contract: every table mutation (insert, delete, action/default
+// registration) and every AddTable bumps planEpoch and clears the published
+// plan before the mutating call returns, so no packet injected after a
+// mutation completes can execute a plan that predates it. Compile captures
+// the epoch before reading table state and installs under planMu only if the
+// epoch is unchanged, so a build that raced a mutation is discarded rather
+// than published. In-flight packets may finish on the plan they loaded at
+// entry — the same single-snapshot atomicity the interpreted path gives
+// packets that loaded a tableState just before an update.
+
+// PlanStats summarizes a compiled pipeline plan, for observability and
+// tests: how much of the pipeline was lowered and at which invalidation
+// epoch the plan was built.
+type PlanStats struct {
+	// Stages is the number of flat stages with at least one lowered table.
+	Stages int
+	// Steps is the total number of lowered table applications across all
+	// stages (one step per table per stage, in application order).
+	Steps int
+	// Entries is the total number of pre-bound table entries baked into the
+	// plan.
+	Entries int
+	// DirectKeySteps counts steps whose key extraction was lowered to direct
+	// PHV container reads (tables that declared SetPHVKeyFields); the
+	// remainder fall back to the table's generic key function.
+	DirectKeySteps int
+	// Epoch is the plan-invalidation epoch the plan was built against. It
+	// increments on every table mutation; a published plan's epoch always
+	// matches the switch's current epoch.
+	Epoch uint64
+}
+
+// planEntry is one lowered table entry: the installed entry (kept for its
+// ternary keys, priority, hit counter, and postcard attribution) with its
+// action function and parameters pre-resolved from the action map.
+type planEntry struct {
+	e      *Entry
+	fn     ActionFunc
+	params []uint32
+}
+
+// planStep is one lowered table application: the match state of one table,
+// captured at compile time with actions pre-bound and, when the table
+// declared its key fields, key extraction lowered to container indices.
+type planStep struct {
+	t *Table
+	// keyIdx, when non-nil, lists the PHV container indices to read as the
+	// key vector (SetPHVKeyFields); otherwise keyFunc runs as on the
+	// interpreted path.
+	keyIdx  []int
+	keyFunc func(*PHV) []uint32
+
+	buckets  map[uint32][]planEntry
+	wildcard []planEntry
+
+	defName   string
+	defFn     ActionFunc
+	defParams []uint32
+}
+
+// pipelinePlan is a compiled snapshot of the whole pipeline: per flat stage
+// (ingress stages first, then egress), the lowered steps in application
+// order. Immutable after publication, like every packet-path snapshot.
+type pipelinePlan struct {
+	stages [][]planStep
+	stats  PlanStats
+}
+
+// lower captures the table's current published snapshot as a plan step.
+func (t *Table) lower() (planStep, int) {
+	st := t.state.Load()
+	step := planStep{
+		t:         t,
+		keyIdx:    t.keyPHV,
+		keyFunc:   t.keyFunc,
+		defName:   st.defaultName,
+		defFn:     st.defaultFn,
+		defParams: st.defaultParams,
+	}
+	entries := 0
+	step.buckets = make(map[uint32][]planEntry, len(st.buckets))
+	for k, b := range st.buckets {
+		lb := make([]planEntry, len(b))
+		for i, e := range b {
+			lb[i] = planEntry{e: e, fn: st.actions[e.Action].fn, params: e.Params}
+		}
+		step.buckets[k] = lb
+		entries += len(b)
+	}
+	if n := len(st.wildcard); n > 0 {
+		step.wildcard = make([]planEntry, n)
+		for i, e := range st.wildcard {
+			step.wildcard[i] = planEntry{e: e, fn: st.actions[e.Action].fn, params: e.Params}
+		}
+		entries += n
+	}
+	return step, entries
+}
+
+// apply executes one lowered step against the packet, replicating
+// Table.Apply exactly: same lookup order, same counters, same postcard hop.
+func (step *planStep) apply(p *PHV) {
+	var keys []uint32
+	if step.keyIdx != nil {
+		keys = p.keyScratchRaw(len(step.keyIdx))
+		// PHV.Set masks on write, so a raw container read equals Get.
+		for i, idx := range step.keyIdx {
+			keys[i] = p.vals[idx]
+		}
+	} else {
+		keys = step.keyFunc(p)
+	}
+	var best *planEntry
+	if b, ok := step.buckets[keys[0]]; ok {
+		for i := range b {
+			if matchAll(b[i].e.Keys, keys) {
+				best = &b[i]
+				break // bucket sorted by priority
+			}
+		}
+	}
+	for i := range step.wildcard {
+		e := &step.wildcard[i]
+		if best != nil && e.e.Priority <= best.e.Priority {
+			break // wildcard sorted by priority
+		}
+		if matchAll(e.e.Keys, keys) {
+			best = e
+			break
+		}
+	}
+	t := step.t
+	var fn ActionFunc
+	var params []uint32
+	switch {
+	case best != nil:
+		fn = best.fn
+		params = best.params
+		atomic.AddUint64(&best.e.hits, 1)
+		t.hits.Add(1)
+	case step.defFn != nil:
+		fn = step.defFn
+		params = step.defParams
+		t.misses.Add(1)
+	default:
+		t.misses.Add(1)
+	}
+	if p.trace != nil && (best != nil || step.defFn != nil) {
+		h := PostcardHop{Gress: t.Gress, Stage: t.Stage, Table: t.Name}
+		if best != nil {
+			h.Action, h.Owner, h.Match = best.e.Action, best.e.Owner, true
+		} else {
+			h.Action = step.defName
+		}
+		p.trace.hop(h)
+	}
+	if fn != nil {
+		fn(p, params)
+	}
+}
+
+// runPlanGress is the compiled counterpart of runGress: walk the lowered
+// steps of one gress, updating the same per-stage lookup metrics.
+func (s *Switch) runPlanGress(plan *pipelinePlan, phv *PHV, g Gress) {
+	phv.gress = g
+	n := s.cfg.StageCount(g)
+	flatBase := 0
+	if g == Egress {
+		flatBase = s.cfg.IngressStages
+	}
+	for st := 0; st < n; st++ {
+		phv.stage = st
+		steps := plan.stages[flatBase+st]
+		for i := range steps {
+			steps[i].apply(phv)
+		}
+		if !s.instrOff && len(steps) > 0 {
+			s.met.lookups[flatBase+st].Add(uint64(len(steps)))
+		}
+	}
+}
+
+// invalidatePlan retires the compiled plan: it bumps the invalidation epoch
+// and clears the published plan atomically with respect to Compile, so a
+// concurrent build against the pre-mutation state can never be installed.
+// Wired as every table's onMutate callback and called by AddTable.
+func (s *Switch) invalidatePlan() {
+	s.planMu.Lock()
+	s.planEpoch.Add(1)
+	s.compiled.Store(nil)
+	s.planMu.Unlock()
+}
+
+// Compile lowers the current table state of every stage into a pipeline plan
+// and publishes it for the packet path. It returns the plan's statistics and
+// whether publication succeeded: a concurrent table mutation between the
+// state capture and the install aborts the build (ok=false), and the caller
+// retries — the control plane's recompile loop does this automatically.
+//
+// Compile is safe to call concurrently with traffic: packets switch from the
+// interpreted path to the plan at their next Inject, and the plan replicates
+// interpreted semantics exactly (see the package comment in plan.go).
+func (s *Switch) Compile() (PlanStats, bool) {
+	epoch := s.planEpoch.Load()
+	plans := *s.plan.Load()
+	built := &pipelinePlan{stages: make([][]planStep, len(plans))}
+	stats := PlanStats{Epoch: epoch}
+	for flat, tables := range plans {
+		if len(tables) == 0 {
+			continue
+		}
+		steps := make([]planStep, 0, len(tables))
+		for _, t := range tables {
+			step, entries := t.lower()
+			if step.keyIdx != nil {
+				stats.DirectKeySteps++
+			}
+			stats.Entries += entries
+			steps = append(steps, step)
+		}
+		built.stages[flat] = steps
+		stats.Stages++
+		stats.Steps += len(steps)
+	}
+	built.stats = stats
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if s.planEpoch.Load() != epoch {
+		return PlanStats{}, false
+	}
+	s.compiled.Store(built)
+	return stats, true
+}
+
+// ClearPlan retires any published plan and returns the packet path to the
+// interpreted tables (used when compilation is toggled off).
+func (s *Switch) ClearPlan() { s.invalidatePlan() }
+
+// CompiledPlan reports whether a compiled plan is currently published, and
+// its statistics if so.
+func (s *Switch) CompiledPlan() (PlanStats, bool) {
+	cp := s.compiled.Load()
+	if cp == nil {
+		return PlanStats{}, false
+	}
+	return cp.stats, true
+}
+
+// PlanEpoch returns the current plan-invalidation epoch (it increments on
+// every table mutation). Tests use it to prove an update retired the plan.
+func (s *Switch) PlanEpoch() uint64 { return s.planEpoch.Load() }

@@ -1,0 +1,243 @@
+package rmt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"p4runpro/internal/pkt"
+)
+
+// planTestSwitch builds a minimal switch for plan tests: one ingress table
+// matching the IPv4 destination (declared as a PHV key field so the compiler
+// lowers its extraction), with a forward action and a drop default.
+func planTestSwitch(t testing.TB) (*Switch, *Table) {
+	t.Helper()
+	cfg := DefaultConfig()
+	sw := New(cfg)
+	if err := sw.PHVLayout().Define("dst", 32); err != nil {
+		t.Fatal(err)
+	}
+	sw.SetParseHook(func(p *PHV) {
+		if p.Packet != nil && p.Packet.IP4 != nil {
+			p.Set("dst", p.Packet.IP4.Dst)
+		}
+	})
+	tbl, err := sw.AddTable("t", Ingress, 0, 64, 1, func(p *PHV) []uint32 {
+		k := p.KeyScratch(1)
+		k[0] = p.Get("dst")
+		return k
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetPHVKeyFields(sw.PHVLayout(), "dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RegisterAction("fwd", 1, func(p *PHV, params []uint32) {
+		p.Meta.EgressSpec = int(params[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RegisterAction("drop", 1, func(p *PHV, _ []uint32) {
+		p.Meta.Drop = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetDefault("drop"); err != nil {
+		t.Fatal(err)
+	}
+	return sw, tbl
+}
+
+func planPkt(dst uint32) *pkt.Packet {
+	return pkt.NewUDP(pkt.FiveTuple{SrcIP: 1, DstIP: dst, SrcPort: 3, DstPort: 4, Proto: pkt.ProtoUDP}, 100)
+}
+
+// TestCompilePublishesAndExecutes checks the basic lifecycle: Compile
+// publishes a plan whose stats reflect the lowered state, and the compiled
+// path produces the entry's verdict.
+func TestCompilePublishesAndExecutes(t *testing.T) {
+	sw, tbl := planTestSwitch(t)
+	if _, err := tbl.Insert([]TernaryKey{Exact(7)}, 0, "fwd", []uint32{3}, "p"); err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := sw.Compile()
+	if !ok {
+		t.Fatal("compile aborted with no concurrent mutation")
+	}
+	if stats.Steps != 1 || stats.Entries != 1 || stats.DirectKeySteps != 1 || stats.Stages != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got, ok := sw.CompiledPlan(); !ok || got != stats {
+		t.Fatalf("CompiledPlan = %+v, %v; want %+v, true", got, ok, stats)
+	}
+	if r := sw.Inject(planPkt(7), 1); r.Verdict != VerdictForwarded || r.OutPort != 3 {
+		t.Fatalf("hit: %v out %d", r.Verdict, r.OutPort)
+	}
+	if r := sw.Inject(planPkt(8), 1); r.Verdict != VerdictDropped {
+		t.Fatalf("default: %v", r.Verdict)
+	}
+	if hits, misses := tbl.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestMutationRetiresPlan is the stale-plan regression test: once a table
+// mutation returns, the previously published plan must be gone, and packets
+// must observe the post-mutation entry set even before a recompile.
+func TestMutationRetiresPlan(t *testing.T) {
+	sw, tbl := planTestSwitch(t)
+	id, err := tbl.Insert([]TernaryKey{Exact(7)}, 0, "fwd", []uint32{3}, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sw.Compile(); !ok {
+		t.Fatal("compile aborted")
+	}
+	epoch := sw.PlanEpoch()
+
+	// Mutate: retarget dst=7 to port 9. The moment Insert returns, no
+	// packet may execute the old plan (which would forward to port 3).
+	if err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sw.CompiledPlan(); ok {
+		t.Fatal("plan survived a Delete")
+	}
+	if sw.PlanEpoch() == epoch {
+		t.Fatal("epoch did not advance on mutation")
+	}
+	if _, err := tbl.Insert([]TernaryKey{Exact(7)}, 0, "fwd", []uint32{9}, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if r := sw.Inject(planPkt(7), 1); r.Verdict != VerdictForwarded || r.OutPort != 9 {
+		t.Fatalf("post-mutation packet saw stale behavior: %v out %d", r.Verdict, r.OutPort)
+	}
+	// Recompile and confirm the fresh plan matches too.
+	if _, ok := sw.Compile(); !ok {
+		t.Fatal("recompile aborted")
+	}
+	if r := sw.Inject(planPkt(7), 1); r.Verdict != VerdictForwarded || r.OutPort != 9 {
+		t.Fatalf("recompiled plan: %v out %d", r.Verdict, r.OutPort)
+	}
+}
+
+// TestClearPlanFallsBack checks ClearPlan returns the switch to the
+// interpreted path without changing behavior.
+func TestClearPlanFallsBack(t *testing.T) {
+	sw, tbl := planTestSwitch(t)
+	if _, err := tbl.Insert([]TernaryKey{Exact(7)}, 0, "fwd", []uint32{3}, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sw.Compile(); !ok {
+		t.Fatal("compile aborted")
+	}
+	sw.ClearPlan()
+	if _, ok := sw.CompiledPlan(); ok {
+		t.Fatal("plan survived ClearPlan")
+	}
+	if r := sw.Inject(planPkt(7), 1); r.Verdict != VerdictForwarded || r.OutPort != 3 {
+		t.Fatalf("interpreted fallback: %v out %d", r.Verdict, r.OutPort)
+	}
+}
+
+// TestInjectBatchMatchesInject checks the batched API yields the same
+// results and counters as per-packet injection.
+func TestInjectBatchMatchesInject(t *testing.T) {
+	mk := func() (*Switch, *Table) {
+		sw, tbl := planTestSwitch(t)
+		if _, err := tbl.Insert([]TernaryKey{Exact(2)}, 0, "fwd", []uint32{5}, "p"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sw.Compile(); !ok {
+			t.Fatal("compile aborted")
+		}
+		return sw, tbl
+	}
+	const n = 100
+	swA, _ := mk()
+	swB, _ := mk()
+	batch := make([]BatchItem, n)
+	serial := make([]Result, n)
+	for i := 0; i < n; i++ {
+		dst := uint32(i % 3)
+		serial[i] = swA.Inject(planPkt(dst), 1)
+		batch[i] = BatchItem{Pkt: planPkt(dst), Port: 1}
+	}
+	swB.InjectBatch(batch)
+	for i := 0; i < n; i++ {
+		if batch[i].Res.Verdict != serial[i].Verdict || batch[i].Res.OutPort != serial[i].OutPort {
+			t.Fatalf("packet %d: batch %v/%d, serial %v/%d", i,
+				batch[i].Res.Verdict, batch[i].Res.OutPort, serial[i].Verdict, serial[i].OutPort)
+		}
+	}
+	ma, mb := swA.Metrics(), swB.Metrics()
+	if ma.Packets != mb.Packets || ma.Passes != mb.Passes || ma.Verdicts != mb.Verdicts {
+		t.Fatalf("metrics diverge: %+v vs %+v", ma, mb)
+	}
+}
+
+// TestCompiledChurnUnderRace runs injection, table churn, and recompilation
+// concurrently — the -race gate for the plan publication protocol. Every
+// packet must still get a valid verdict (the table's default guarantees
+// forwarded-or-dropped; anything else means a torn plan).
+func TestCompiledChurnUnderRace(t *testing.T) {
+	sw, tbl := planTestSwitch(t)
+	stop := make(chan struct{})
+	var churn, inj sync.WaitGroup
+
+	churn.Add(1)
+	go func() { // control plane: churn entries and recompile
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, err := tbl.Insert([]TernaryKey{Exact(uint32(i % 8))}, i%4, "fwd", []uint32{2}, "churn")
+			sw.Compile()
+			if err == nil && i%2 == 0 {
+				_ = tbl.Delete(id)
+			}
+			if i%24 == 0 {
+				_ = tbl.DeleteOwned("churn")
+			}
+			sw.Compile()
+		}
+	}()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	for w := 0; w < workers; w++ {
+		inj.Add(1)
+		go func(w int) {
+			defer inj.Done()
+			batch := make([]BatchItem, 16)
+			for i := 0; i < 1500; i++ {
+				if i%3 == 0 {
+					for j := range batch {
+						batch[j] = BatchItem{Pkt: planPkt(uint32((i + j) % 8)), Port: 1}
+					}
+					sw.InjectBatch(batch)
+					for j := range batch {
+						if v := batch[j].Res.Verdict; v != VerdictForwarded && v != VerdictDropped {
+							t.Errorf("worker %d: batch verdict %v", w, v)
+						}
+					}
+					continue
+				}
+				r := sw.Inject(planPkt(uint32(i%8)), 1)
+				if r.Verdict != VerdictForwarded && r.Verdict != VerdictDropped {
+					t.Errorf("worker %d: verdict %v", w, r.Verdict)
+				}
+			}
+		}(w)
+	}
+	inj.Wait()
+	close(stop)
+	churn.Wait()
+}

@@ -160,6 +160,14 @@ type Switch struct {
 	// lock-free by runGress.
 	plan atomic.Pointer[[][]*Table]
 
+	// compiled is the published compiled pipeline plan (see plan.go), or
+	// nil when the switch runs interpreted. planEpoch increments on every
+	// table mutation; planMu makes the epoch-check-and-install in Compile
+	// atomic against invalidatePlan so a stale build is never published.
+	planMu    sync.Mutex
+	planEpoch atomic.Uint64
+	compiled  atomic.Pointer[pipelinePlan]
+
 	arrays map[stageKey]*RegisterArray
 	hash   map[stageKey][]*hashing.Unit
 
@@ -291,10 +299,12 @@ func (s *Switch) AddTable(name string, g Gress, stage, capacity, nkeys int, keyF
 		return nil, fmt.Errorf("rmt: table %q already exists", name)
 	}
 	t := NewTable(name, g, stage, capacity, nkeys, keyFunc)
+	t.onMutate = s.invalidatePlan
 	s.tables[name] = t
 	k := stageKey{g, stage}
 	s.stagePlan[k] = append(s.stagePlan[k], t)
 	s.publishPlanLocked()
+	s.invalidatePlan()
 	return t, nil
 }
 
@@ -411,11 +421,20 @@ func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
 	if s.onParse != nil {
 		s.onParse(phv)
 	}
+	// Load the compiled plan once per packet: every pass of this packet
+	// executes against the same snapshot, exactly as an interpreted packet
+	// resolves each table against the snapshot it loads at lookup time.
+	cp := s.compiled.Load()
 	passes := 0
 	for {
 		passes++
-		s.runGress(phv, Ingress)
-		s.runGress(phv, Egress)
+		if cp != nil {
+			s.runPlanGress(cp, phv, Ingress)
+			s.runPlanGress(cp, phv, Egress)
+		} else {
+			s.runGress(phv, Ingress)
+			s.runGress(phv, Egress)
+		}
 		if !phv.Meta.Recirc {
 			break
 		}
@@ -472,6 +491,61 @@ func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
 		return Result{Verdict: VerdictForwarded, OutPort: phv.Meta.EgressSpec, Packet: p, Passes: passes}
 	}
 	return Result{Verdict: VerdictNoDecision, OutPort: -1, Packet: p, Passes: passes}
+}
+
+// BatchItem is one packet of an InjectBatch burst: the packet and ingress
+// port to inject, and the Result slot InjectBatch fills in place.
+type BatchItem struct {
+	Pkt  *pkt.Packet
+	Port int
+	Res  Result
+}
+
+// InjectBatch runs a burst of packets through the switch, filling each
+// item's Res in place. It is semantically identical to calling Inject per
+// item in order — same verdicts, counters, and postcard sampling — but
+// amortizes the per-packet overheads across the burst: one PHV is checked
+// out of the pool and recycled for the whole batch, and the packet/pass/
+// verdict counters are accumulated locally and flushed once.
+//
+// Like Inject it is safe for concurrent use (each call owns its PHV), but a
+// single batch is processed sequentially, so callers that need per-flow
+// ordering should keep a flow's packets in one batch or one goroutine —
+// traffic.ReplayParallel's 5-tuple sharding does exactly that.
+func (s *Switch) InjectBatch(items []BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	phv := s.phvPool.Get().(*PHV)
+	var packets, passes uint64
+	var verdicts [VerdictNextHop + 1]uint64
+	for i := range items {
+		it := &items[i]
+		tr := s.samplePostcard()
+		if it.Port >= 0 && it.Port < len(s.rx) {
+			s.rx[it.Port].add(it.Pkt.WireLen)
+		}
+		phv.reset(s.layout, it.Pkt, it.Port)
+		phv.trace = tr
+		it.Res = s.run(phv, it.Pkt, it.Port)
+		phv.trace = nil
+		packets++
+		passes += uint64(it.Res.Passes)
+		verdicts[it.Res.Verdict]++
+		if tr != nil {
+			s.recordPostcard(tr, it.Pkt, it.Port, it.Res)
+		}
+	}
+	s.phvPool.Put(phv)
+	if !s.instrOff {
+		s.met.packets.Add(packets)
+		s.met.passes.Add(passes)
+		for v := range verdicts {
+			if verdicts[v] > 0 {
+				s.met.verdicts[v].Add(verdicts[v])
+			}
+		}
+	}
 }
 
 // InjectBytes parses a wire frame and injects it.

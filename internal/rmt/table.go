@@ -103,11 +103,53 @@ type Table struct {
 	keyFunc func(*PHV) []uint32
 	nkeys   int
 
+	// keyPHV, when non-nil, declares that this table's key vector is
+	// exactly the listed PHV containers in order (SetPHVKeyFields). The
+	// plan compiler lowers such tables to direct container reads; nil
+	// tables keep the generic keyFunc on the compiled path too.
+	keyPHV []int
+
+	// onMutate, when non-nil, is called after every published state change
+	// (insert, delete, action/default registration). The owning switch uses
+	// it to invalidate its compiled pipeline plan, so a stale plan can never
+	// serve a packet after a mutation completes.
+	onMutate func()
+
 	mu     sync.Mutex // serializes writers; readers never take it
 	nextID EntryID
 	state  atomic.Pointer[tableState]
 
 	hits, misses atomic.Uint64
+}
+
+// notify signals the owning switch (if any) that the published match state
+// changed. Called by every mutator after its atomic store.
+func (t *Table) notify() {
+	if t.onMutate != nil {
+		t.onMutate()
+	}
+}
+
+// SetPHVKeyFields declares that the table's key extractor reads exactly the
+// named PHV scratch fields, in key order. The declaration lets the plan
+// compiler replace the generic keyFunc with direct container reads on the
+// compiled packet path; the interpreted path is unaffected. The field count
+// must match the table's key count, and every name must be defined in the
+// layout. Call at provisioning time, before traffic flows.
+func (t *Table) SetPHVKeyFields(layout *PHVLayout, names ...string) error {
+	if len(names) != t.nkeys {
+		return fmt.Errorf("rmt: table %s: %d key fields declared, want %d", t.Name, len(names), t.nkeys)
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := layout.Index(n)
+		if !ok {
+			return fmt.Errorf("rmt: table %s: key field %q not defined in PHV layout", t.Name, n)
+		}
+		idx[i] = j
+	}
+	t.keyPHV = idx
+	return nil
 }
 
 type actionDef struct {
@@ -150,6 +192,7 @@ func (t *Table) RegisterAction(name string, vliwSlots int, fn ActionFunc) error 
 	}
 	ns.actions[name] = actionDef{fn: fn, vliwSlots: vliwSlots}
 	t.state.Store(ns)
+	t.notify()
 	return nil
 }
 
@@ -171,6 +214,7 @@ func (t *Table) SetDefault(action string, params ...uint32) error {
 	ns.defaultFn = fn
 	ns.defaultParams = params
 	t.state.Store(ns)
+	t.notify()
 	return nil
 }
 
@@ -202,6 +246,7 @@ func (t *Table) Insert(keys []TernaryKey, priority int, action string, params []
 	}
 	ns.count++
 	t.state.Store(ns)
+	t.notify()
 	return e.ID, nil
 }
 
@@ -243,6 +288,7 @@ func (t *Table) Delete(id EntryID) error {
 				}
 				ns.count--
 				t.state.Store(ns)
+				t.notify()
 				return nil
 			}
 		}
@@ -256,6 +302,7 @@ func (t *Table) Delete(id EntryID) error {
 			ns.wildcard = nw
 			ns.count--
 			t.state.Store(ns)
+			t.notify()
 			return nil
 		}
 	}
@@ -296,6 +343,7 @@ func (t *Table) DeleteOwned(owner string) int {
 	ns.wildcard = kept
 	ns.count -= n
 	t.state.Store(ns)
+	t.notify()
 	return n
 }
 

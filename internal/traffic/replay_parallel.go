@@ -77,6 +77,22 @@ func (a *replayAcc) record(ev Event, r rmt.Result, bucketMs float64, buckets int
 	}
 }
 
+// BatchInjector is an Injector that can also process a burst of packets in
+// one call, filling each item's Res in place (rmt.Switch.InjectBatch).
+// ReplayParallel feeds such injectors in bursts of up to replayBatchSize
+// events, amortizing per-packet dispatch and PHV pooling; batching never
+// crosses a time barrier, so scheduled actions and bucket hooks observe
+// exactly the same event ordering as the unbatched loop.
+type BatchInjector interface {
+	Injector
+	InjectBatch(items []rmt.BatchItem)
+}
+
+// replayBatchSize bounds one InjectBatch burst: large enough to amortize the
+// per-call overheads, small enough that worker progress ticks and
+// accumulator updates stay responsive.
+const replayBatchSize = 64
+
 // ReplayParallel replays the trace through the injector with `workers`
 // concurrent goroutines, sharding packets by 5-tuple hash so per-flow packet
 // order is preserved while independent flows proceed in parallel — the
@@ -129,6 +145,18 @@ func ReplayParallel(tr *Trace, inj Injector, sched []Action, bucketMs float64, w
 	}
 	cursors := make([]int, workers)
 
+	// Batch-capable injectors get fed in bursts: per-flow order still holds
+	// (a shard's events stay in order within and across batches), and
+	// batches never span a time barrier because runUntil bounds them.
+	batchInj, batched := inj.(BatchInjector)
+	var batchBufs [][]rmt.BatchItem
+	if batched {
+		batchBufs = make([][]rmt.BatchItem, workers)
+		for w := range batchBufs {
+			batchBufs[w] = make([]rmt.BatchItem, replayBatchSize)
+		}
+	}
+
 	// runUntil processes, on every worker in parallel, all remaining events
 	// with AtMs < limit, then joins: a time barrier.
 	runUntil := func(limit float64) {
@@ -142,6 +170,26 @@ func ReplayParallel(tr *Trace, inj Injector, sched []Action, bucketMs float64, w
 				defer wg.Done()
 				sh, acc := shards[w], accs[w]
 				i := cursors[w]
+				if batched {
+					buf := batchBufs[w]
+					for i < len(sh) && sh[i].AtMs < limit {
+						n := 0
+						for i+n < len(sh) && sh[i+n].AtMs < limit && n < replayBatchSize {
+							buf[n] = rmt.BatchItem{Pkt: sh[i+n].Pkt, Port: sh[i+n].Port}
+							n++
+						}
+						batchInj.InjectBatch(buf[:n])
+						for k := 0; k < n; k++ {
+							acc.record(sh[i+k], buf[k].Res, bucketMs, buckets)
+							if acc.packets%replayTickEvery == 0 {
+								tickReplayWorker(w, acc.packets)
+							}
+						}
+						i += n
+					}
+					cursors[w] = i
+					return
+				}
 				for i < len(sh) && sh[i].AtMs < limit {
 					ev := sh[i]
 					r := inj.Inject(ev.Pkt, ev.Port)

@@ -50,6 +50,12 @@ type (
 	FiveTuple = pkt.FiveTuple
 	// Result is a packet's disposition.
 	Result = rmt.Result
+	// BatchItem is one packet of a Switch.InjectBatch burst; the batched
+	// injection API amortizes per-packet dispatch (see docs/PERFORMANCE.md).
+	BatchItem = rmt.BatchItem
+	// PlanStats summarizes the switch's compiled pipeline plan (see
+	// docs/COMPILATION.md for the lowering pipeline).
+	PlanStats = rmt.PlanStats
 	// Server serves the control protocol over TCP.
 	Server = wire.Server
 	// Client is the typed control-protocol client.
