@@ -60,7 +60,7 @@ func Provision(sw *rmt.Switch) (*Plane, error) {
 
 	// Field ID space: parsed header fields plus readable metadata.
 	pl.fieldNames = append(pl.fieldNames, pkt.FieldNames()...)
-	pl.fieldNames = append(pl.fieldNames, "meta.ingress_port", "meta.qdepth", "meta.pkt_len")
+	pl.fieldNames = append(pl.fieldNames, "meta.ingress_port", "meta.qdepth", "meta.pkt_len", "meta.ttl")
 	for i, n := range pl.fieldNames {
 		pl.fieldIDs[n] = i
 	}

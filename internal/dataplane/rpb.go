@@ -119,6 +119,8 @@ func (pl *Plane) registerActions(t *rmt.Table, g rmt.Gress, stage int) error {
 			return p.Meta.QueueDepth
 		case "meta.pkt_len":
 			return p.Meta.PktLen
+		case "meta.ttl":
+			return p.Meta.TTL
 		}
 		v, err := p.Packet.GetField(name)
 		if err != nil {

@@ -1,0 +1,545 @@
+// Package fabric wires simulated RMT switches into multi-switch topologies
+// and routes traffic across them. The paper evaluates P4runpro on a single
+// Tofino; a production deployment is a connected fabric, and every
+// end-to-end scenario — fleet-wide heavy-hitter aggregation, cache
+// hierarchies with upstream miss traffic, topology-aware placement — needs
+// packets to actually cross switch boundaries.
+//
+// A Fabric holds named nodes (each owning an rmt.Switch) and directed Links
+// between (node, port) endpoints. The forwarding engine takes each
+// rmt.Result a switch produces and injects the packet into the peer
+// endpoint of the link its egress port is wired to; ports without a link
+// are edge ports, where packets enter and leave the fabric. Every packet
+// carries a hop budget (TTL): each link traversal spends one hop, and a
+// packet that still needs a link at zero budget is dropped and counted, so
+// routing loops terminate deterministically instead of spinning. Links can
+// be degraded through the deterministic fault registry (internal/faults) —
+// each link registers a loss injection point — and carry a simulated
+// propagation latency that stitched path traces accumulate.
+//
+// Replay (replay.go) feeds timed traffic into edge ports and batches every
+// hop through Switch.InjectBatch, so the compiled packet path's throughput
+// carries across the fabric. Path telemetry (trace.go) samples one in N
+// edge packets and forces a postcard at every hop, stitching the per-switch
+// records into end-to-end path traces keyed by a fabric-assigned packet ID.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p4runpro/internal/faults"
+	"p4runpro/internal/obs"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// DefaultTTL is the hop budget packets start with unless Options overrides
+// it: generous for any sane topology, small enough that a routing loop
+// resolves in microseconds.
+const DefaultTTL = 16
+
+// DefaultPortBase is the first port index the topology builders use for
+// fabric (inter-switch) links, leaving the low ports free for edge traffic.
+const DefaultPortBase = 48
+
+// Endpoint names one side of a link: a node and a port on it.
+type Endpoint struct {
+	Node string
+	Port int
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Node, e.Port) }
+
+// Link is one directed fabric connection. Two mirrored Links model a cable.
+type Link struct {
+	From, To Endpoint
+	// Latency is the link's simulated propagation delay, accumulated into
+	// stitched path traces (no wall-clock sleeping happens).
+	Latency time.Duration
+
+	// loss is the link's fault-injection point: when armed (see
+	// internal/faults), selected traversals drop on the wire.
+	loss *faults.Point
+
+	tx    atomic.Uint64 // packets offered to the link
+	rx    atomic.Uint64 // packets delivered to the peer endpoint
+	drops atomic.Uint64 // packets lost to an armed fault
+}
+
+// String renders the link as "a:2->b:3", the form used in metric labels and
+// fault-point names.
+func (l *Link) String() string { return l.From.String() + "->" + l.To.String() }
+
+// LossPoint returns the name of the link's fault-injection point
+// ("fabric.link.a:2->b:3"); arm it through internal/faults to drop selected
+// traversals.
+func (l *Link) LossPoint() string { return "fabric.link." + l.String() }
+
+// Stats returns the link's traversal counters.
+func (l *Link) Stats() (tx, rx, drops uint64) {
+	return l.tx.Load(), l.rx.Load(), l.drops.Load()
+}
+
+// Node is one switch of the fabric.
+type Node struct {
+	Name string
+	SW   *rmt.Switch
+
+	// Fabric-lifetime counters, exported through the fabric's metrics
+	// registry.
+	injected  atomic.Uint64 // packets entering this node (edge + fabric)
+	forwarded atomic.Uint64 // packets pushed onto an outgoing fabric link
+	delivered atomic.Uint64 // packets that exited the fabric here
+	dropped   atomic.Uint64 // packets dropped by a switch verdict here
+	consumed  atomic.Uint64 // packets reported to this node's CPU
+}
+
+// Options tunes a Fabric. The zero value is usable: TTL 16, port base 48,
+// path sampling disabled.
+type Options struct {
+	// TTL is the hop budget assigned to packets entering at an edge: the
+	// number of link traversals each may make before being dropped as
+	// looped. Default DefaultTTL.
+	TTL int
+	// PortBase is the first port index the topology builders use for
+	// fabric links. Default DefaultPortBase.
+	PortBase int
+	// PathSampleEvery samples one in every N edge packets for stitched
+	// path tracing (a forced postcard at every hop). 0 disables.
+	PathSampleEvery int
+	// PathKeep bounds the ring of retained path traces. Default 128.
+	PathKeep int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TTL <= 0 {
+		o.TTL = DefaultTTL
+	}
+	if o.PortBase <= 0 {
+		o.PortBase = DefaultPortBase
+	}
+	if o.PathKeep <= 0 {
+		o.PathKeep = 128
+	}
+	return o
+}
+
+// Fabric is a set of named switches wired port-to-port. Topology (nodes and
+// links) is provisioning-time state: build it before injecting traffic,
+// exactly as tables are added to a switch before packets flow. The
+// forwarding paths themselves are safe for concurrent injection.
+type Fabric struct {
+	// Obs is the fabric's metrics registry: end-to-end outcome counters,
+	// per-link tx/rx/drop counters, and per-node packet accounting.
+	Obs *obs.Registry
+
+	opt   Options
+	nodes map[string]*Node
+	order []string
+	links map[Endpoint]*Link
+
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	consumed   atomic.Uint64
+	ttlExpired atomic.Uint64
+	linkLost   atomic.Uint64
+
+	pathSeq atomic.Uint64 // edge injections, drives the 1-in-N path sampler
+	pathID  atomic.Uint64 // assigns stitched trace IDs
+
+	traceMu   sync.Mutex
+	traces    []*PathTrace // ring of the most recent stitched traces
+	traceNext int
+}
+
+// New creates an empty fabric.
+func New(opt Options) *Fabric {
+	f := &Fabric{
+		opt:   opt.withDefaults(),
+		nodes: make(map[string]*Node),
+		links: make(map[Endpoint]*Link),
+		Obs:   obs.NewRegistry(),
+	}
+	f.registerMetrics()
+	return f
+}
+
+// Options returns the fabric's effective configuration.
+func (f *Fabric) Options() Options { return f.opt }
+
+// PortBase returns the first port index used for fabric links.
+func (f *Fabric) PortBase() int { return f.opt.PortBase }
+
+// Add registers a switch as a named fabric node.
+func (f *Fabric) Add(name string, sw *rmt.Switch) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("fabric: empty node name")
+	}
+	if sw == nil {
+		return nil, fmt.Errorf("fabric: node %q: nil switch", name)
+	}
+	if _, dup := f.nodes[name]; dup {
+		return nil, fmt.Errorf("fabric: node %q already exists", name)
+	}
+	n := &Node{Name: name, SW: sw}
+	f.nodes[name] = n
+	f.order = append(f.order, name)
+	f.registerNodeMetrics(n)
+	return n, nil
+}
+
+// Node finds a node by name.
+func (f *Fabric) Node(name string) (*Node, bool) {
+	n, ok := f.nodes[name]
+	return n, ok
+}
+
+// Nodes returns the node names in registration order.
+func (f *Fabric) Nodes() []string { return append([]string(nil), f.order...) }
+
+// Link returns the directed link leaving (node, port), if wired.
+func (f *Fabric) Link(node string, port int) (*Link, bool) {
+	l, ok := f.links[Endpoint{node, port}]
+	return l, ok
+}
+
+// Links returns every directed link, ordered by source endpoint.
+func (f *Fabric) Links() []*Link {
+	out := make([]*Link, 0, len(f.links))
+	for _, l := range f.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From.Node != out[j].From.Node {
+			return out[i].From.Node < out[j].From.Node
+		}
+		return out[i].From.Port < out[j].From.Port
+	})
+	return out
+}
+
+// ConnectOneWay wires a directed link from a:ap to b:bp.
+func (f *Fabric) ConnectOneWay(a string, ap int, b string, bp int, latency time.Duration) (*Link, error) {
+	if _, ok := f.nodes[a]; !ok {
+		return nil, fmt.Errorf("fabric: unknown node %q", a)
+	}
+	if _, ok := f.nodes[b]; !ok {
+		return nil, fmt.Errorf("fabric: unknown node %q", b)
+	}
+	from := Endpoint{a, ap}
+	if l, dup := f.links[from]; dup {
+		return nil, fmt.Errorf("fabric: port %s already wired to %s", from, l.To)
+	}
+	l := &Link{From: from, To: Endpoint{b, bp}, Latency: latency}
+	l.loss = faults.Register(l.LossPoint())
+	f.links[from] = l
+	f.registerLinkMetrics(l)
+	return l, nil
+}
+
+// Connect wires a full-duplex cable between a:ap and b:bp — two mirrored
+// directed links sharing the latency.
+func (f *Fabric) Connect(a string, ap int, b string, bp int, latency time.Duration) error {
+	if _, err := f.ConnectOneWay(a, ap, b, bp, latency); err != nil {
+		return err
+	}
+	_, err := f.ConnectOneWay(b, bp, a, ap, latency)
+	return err
+}
+
+// EdgeRx reports, per node, the packets received on edge ports (ports not
+// wired to a fabric link) — the signal the topology-aware placement policy
+// ranks members by: deploy the program where its traffic enters.
+func (f *Fabric) EdgeRx() map[string]uint64 {
+	out := make(map[string]uint64, len(f.nodes))
+	for name, n := range f.nodes {
+		cfg := n.SW.Config()
+		var sum uint64
+		for port := 0; port < cfg.Ports+8; port++ {
+			if _, wired := f.links[Endpoint{name, port}]; wired {
+				continue
+			}
+			sum += n.SW.RxStats(port).TxPackets
+		}
+		out[name] = sum
+	}
+	return out
+}
+
+// hop is one pending injection of the forwarding engine: a packet about to
+// enter node n on port, with ttl link traversals of budget left and hops
+// already spent.
+type hop struct {
+	n    *Node
+	p    *pkt.Packet
+	port int
+	ttl  int
+	hops int
+	tr   *PathTrace
+}
+
+// Delivery is the end-to-end outcome of one edge-injected packet. Multicast
+// replication can fan one packet into several copies; the counters account
+// every copy.
+type Delivery struct {
+	Delivered  int // copies that exited the fabric on an edge port
+	Dropped    int // copies dropped by a switch verdict
+	Consumed   int // copies reported to a node CPU
+	TTLExpired int // copies dropped by the hop limit
+	LinkLost   int // copies lost to an armed link fault
+	Hops       int // most link traversals spent by any copy
+	// Trace is the stitched path trace when this packet was path-sampled
+	// (see Options.PathSampleEvery), nil otherwise.
+	Trace *PathTrace
+}
+
+// Inject feeds one packet into the fabric at a node's edge port and drives
+// it hop by hop to its end-to-end outcome. Safe for concurrent use once the
+// topology is built.
+func (f *Fabric) Inject(node string, p *pkt.Packet, port int) (Delivery, error) {
+	n, ok := f.nodes[node]
+	if !ok {
+		return Delivery{}, fmt.Errorf("fabric: unknown node %q", node)
+	}
+	var res ReplayResult
+	tr := f.samplePath(p)
+	f.process([]hop{{n: n, p: p, port: port, ttl: f.opt.TTL, tr: tr}}, &res, nil)
+	d := Delivery{
+		Delivered:  int(res.Delivered),
+		Dropped:    int(res.Dropped),
+		Consumed:   int(res.Consumed),
+		TTLExpired: int(res.TTLExpired),
+		LinkLost:   int(res.LinkLost),
+		Trace:      tr,
+	}
+	for h, c := range res.Hops {
+		if c > 0 {
+			d.Hops = h
+		}
+	}
+	return d, nil
+}
+
+// process drains a frontier of pending injections: every wave batches the
+// pending packets per node through InjectBatch (path-sampled packets go
+// per-packet through InjectWith so each hop yields a postcard), routes each
+// result over the links, and repeats until no packet is in flight. scratch,
+// when non-nil, supplies reusable per-wave buffers for the replay loop.
+func (f *Fabric) process(frontier []hop, res *ReplayResult, scratch *engineScratch) {
+	if scratch == nil {
+		scratch = newEngineScratch()
+	}
+	cur := append(scratch.cur[:0], frontier...)
+	next := scratch.next[:0]
+	for len(cur) > 0 {
+		next = next[:0]
+		// Group the wave per node, preserving arrival order within a node.
+		for _, h := range cur {
+			g, ok := scratch.byNode[h.n]
+			if !ok {
+				g = scratch.take()
+			}
+			scratch.byNode[h.n] = append(g, h)
+		}
+		for _, h := range cur {
+			pending, ok := scratch.byNode[h.n]
+			if !ok || len(pending) == 0 {
+				continue // node already flushed this wave
+			}
+			delete(scratch.byNode, h.n)
+			next = f.flushNode(h.n, pending, next, res, scratch)
+			scratch.stash(pending)
+		}
+		cur, next = append(scratch.cur[:0], next...), cur
+	}
+	scratch.cur, scratch.next = cur, next
+}
+
+// flushNode injects one node's pending wave — traced packets one by one,
+// the rest as a single InjectBatch burst — and routes every result,
+// appending follow-on hops to next.
+func (f *Fabric) flushNode(n *Node, pending []hop, next []hop, res *ReplayResult, scratch *engineScratch) []hop {
+	items := scratch.items[:0]
+	batched := scratch.batched[:0]
+	for i := range pending {
+		h := &pending[i]
+		n.injected.Add(1)
+		if res != nil {
+			res.node(n.Name).Injected++
+		}
+		if h.tr != nil {
+			r, pc := n.SW.InjectWith(h.p, h.port, rmt.InjectCtx{
+				TTL:    uint32(h.ttl),
+				PathID: h.tr.ID,
+				Traced: true,
+			})
+			h.tr.addHop(n.Name, h.port, r, pc)
+			next = f.route(*h, r, next, res)
+			continue
+		}
+		items = append(items, rmt.BatchItem{Pkt: h.p, Port: h.port, TTL: uint32(h.ttl)})
+		batched = append(batched, i)
+	}
+	if len(items) > 0 {
+		n.SW.InjectBatch(items)
+		for bi, pi := range batched {
+			next = f.route(pending[pi], items[bi].Res, next, res)
+		}
+	}
+	scratch.items, scratch.batched = items, batched
+	return next
+}
+
+// route classifies one injection result and either terminates the packet
+// (delivered, dropped, consumed) or appends its next hops.
+func (f *Fabric) route(h hop, r rmt.Result, next []hop, res *ReplayResult) []hop {
+	switch r.Verdict {
+	case rmt.VerdictForwarded:
+		return f.egress(h, r.OutPort, next, res)
+	case rmt.VerdictReflected:
+		return f.egress(h, h.port, next, res)
+	case rmt.VerdictNextHop:
+		// Chain-mode emission: the shim-carrying packet leaves on the
+		// recirculation port; if that port is wired, the next switch of
+		// the chain picks it up.
+		return f.egress(h, r.OutPort, next, res)
+	case rmt.VerdictMulticast:
+		// Replicate over every target port. Copies beyond the first get a
+		// cloned packet so downstream header rewrites stay independent; a
+		// traced packet's stitching stops at the replication point (the
+		// trace stays a single path).
+		if h.tr != nil {
+			h.tr.finish(statusReplicated)
+			h.tr = nil
+		}
+		for i, port := range r.OutPorts {
+			ch := h
+			if i > 0 {
+				ch.p = h.p.Clone()
+			}
+			next = f.egress(ch, port, next, res)
+		}
+		if len(r.OutPorts) == 0 {
+			f.dropped.Add(1)
+			h.n.dropped.Add(1)
+			if res != nil {
+				res.Dropped++
+				res.node(h.n.Name).Dropped++
+			}
+		}
+		return next
+	case rmt.VerdictToCPU:
+		f.consumed.Add(1)
+		h.n.consumed.Add(1)
+		if res != nil {
+			res.Consumed++
+			res.node(h.n.Name).Consumed++
+		}
+		if h.tr != nil {
+			h.tr.finish(statusConsumed)
+		}
+		return next
+	default: // Dropped, NoDecision, RecircOverflow
+		f.dropped.Add(1)
+		h.n.dropped.Add(1)
+		if res != nil {
+			res.Dropped++
+			res.node(h.n.Name).Dropped++
+		}
+		if h.tr != nil {
+			h.tr.finish(statusDropped)
+		}
+		return next
+	}
+}
+
+// egress sends a packet out (node, port): across the link wired there, or
+// off the fabric when the port is an edge.
+func (f *Fabric) egress(h hop, port int, next []hop, res *ReplayResult) []hop {
+	lk, wired := f.links[Endpoint{h.n.Name, port}]
+	if !wired {
+		f.delivered.Add(1)
+		h.n.delivered.Add(1)
+		if res != nil {
+			res.Delivered++
+			res.node(h.n.Name).Delivered++
+			res.countHops(h.hops)
+		}
+		if h.tr != nil {
+			h.tr.setExit(port)
+			h.tr.finish(statusDelivered)
+		}
+		return next
+	}
+	if h.ttl <= 0 {
+		// Hop budget exhausted with another link to cross: the packet is
+		// looping — drop it deterministically.
+		f.ttlExpired.Add(1)
+		h.n.dropped.Add(1)
+		if res != nil {
+			res.TTLExpired++
+			res.node(h.n.Name).Dropped++
+		}
+		if h.tr != nil {
+			h.tr.finish(statusTTLExpired)
+		}
+		return next
+	}
+	lk.tx.Add(1)
+	h.n.forwarded.Add(1)
+	if res != nil {
+		res.node(h.n.Name).Forwarded++
+	}
+	if err := lk.loss.Check(); err != nil {
+		lk.drops.Add(1)
+		f.linkLost.Add(1)
+		if res != nil {
+			res.LinkLost++
+		}
+		if h.tr != nil {
+			h.tr.finish(statusLinkLost)
+		}
+		return next
+	}
+	lk.rx.Add(1)
+	if h.tr != nil {
+		h.tr.addLink(lk)
+	}
+	return append(next, hop{
+		n:    f.nodes[lk.To.Node],
+		p:    h.p,
+		port: lk.To.Port,
+		ttl:  h.ttl - 1,
+		hops: h.hops + 1,
+		tr:   h.tr,
+	})
+}
+
+// engineScratch holds the forwarding engine's reusable wave buffers so a
+// long replay allocates per burst, not per packet.
+type engineScratch struct {
+	cur, next []hop
+	byNode    map[*Node][]hop
+	items     []rmt.BatchItem
+	batched   []int
+	free      [][]hop
+}
+
+func newEngineScratch() *engineScratch {
+	return &engineScratch{byNode: make(map[*Node][]hop)}
+}
+
+func (s *engineScratch) stash(h []hop) { s.free = append(s.free, h[:0]) }
+
+func (s *engineScratch) take() []hop {
+	if n := len(s.free); n > 0 {
+		h := s.free[n-1]
+		s.free = s.free[:n-1]
+		return h
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package fabric
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"p4runpro/internal/faults"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// fwdSwitch builds a raw switch whose single wildcard table forwards every
+// packet to a fixed egress port — the minimal routing behaviour fabric
+// tests need.
+func fwdSwitch(t testing.TB, egress int) *rmt.Switch {
+	t.Helper()
+	sw := rmt.New(rmt.DefaultConfig())
+	fwdTable(t, sw, egress)
+	return sw
+}
+
+func fwdTable(t testing.TB, sw *rmt.Switch, egress int) {
+	t.Helper()
+	tbl, err := sw.AddTable("fwd", rmt.Ingress, 0, 8, 1, func(p *rmt.PHV) []uint32 {
+		return p.KeyScratch(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RegisterAction("set_egress", 1, func(p *rmt.PHV, params []uint32) {
+		p.Meta.EgressSpec = int(params[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetDefault("set_egress", uint32(egress)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testPacket() *pkt.Packet {
+	return pkt.NewUDP(pkt.FiveTuple{
+		SrcIP: pkt.IP(10, 0, 0, 1), DstIP: pkt.IP(10, 2, 0, 1),
+		SrcPort: 1234, DstPort: 80, Proto: pkt.ProtoUDP,
+	}, 256)
+}
+
+// TestChainForwarding drives a packet down a 3-node chain: every node
+// forwards toward its successor, the last node emits on an unwired edge
+// port, and the fabric's delivery, per-node, and per-link accounting must
+// all agree.
+func TestChainForwarding(t *testing.T) {
+	f := New(Options{})
+	for i, egress := range []int{f.ChainNextPort(), f.ChainNextPort(), 2} {
+		if _, err := f.Add(nodeName("c", i), fwdSwitch(t, egress)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WireChain("c", 3, rmt.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := f.Inject("c0", testPacket(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delivered != 1 || d.Dropped != 0 || d.TTLExpired != 0 {
+		t.Fatalf("delivery %+v, want 1 delivered", d)
+	}
+	if d.Hops != 2 {
+		t.Fatalf("hops %d, want 2", d.Hops)
+	}
+
+	// Per-link accounting: both forward links crossed exactly once.
+	for _, from := range []Endpoint{{"c0", f.ChainNextPort()}, {"c1", f.ChainNextPort()}} {
+		lk, ok := f.Link(from.Node, from.Port)
+		if !ok {
+			t.Fatalf("link at %s not wired", from)
+		}
+		tx, rx, drops := lk.Stats()
+		if tx != 1 || rx != 1 || drops != 0 {
+			t.Errorf("link %s tx/rx/drops %d/%d/%d, want 1/1/0", lk, tx, rx, drops)
+		}
+	}
+	// The reverse-direction links stay idle.
+	lk, _ := f.Link("c1", f.ChainPrevPort())
+	if tx, _, _ := lk.Stats(); tx != 0 {
+		t.Errorf("reverse link %s tx %d, want 0", lk, tx)
+	}
+	// Node accounting: delivery happened at c2, on edge port 2.
+	c2, _ := f.Node("c2")
+	if got := c2.SW.PortStats(2).TxPackets; got != 1 {
+		t.Errorf("c2 edge port tx %d, want 1", got)
+	}
+	// EdgeRx sees the one edge injection at c0 and nothing at c1 (its only
+	// rx was on a fabric port).
+	rx := f.EdgeRx()
+	if rx["c0"] != 1 || rx["c1"] != 0 {
+		t.Errorf("EdgeRx %v, want c0:1 c1:0", rx)
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// TestRingLoopProtection is the loop-safety satellite: a 3-node ring whose
+// every node blindly forwards clockwise, so no packet can ever leave.
+// Concurrent injections must all terminate at the hop limit — counted as
+// TTL-expired, no hang — under the race detector.
+func TestRingLoopProtection(t *testing.T) {
+	f := New(Options{TTL: 8})
+	for i := 0; i < 3; i++ {
+		if _, err := f.Add(nodeName("r", i), fwdSwitch(t, f.ChainNextPort())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WireRing("r", 3, rmt.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d, err := f.Inject("r0", testPacket(), 1)
+				if err != nil {
+					panic(err)
+				}
+				if d.TTLExpired != 1 || d.Delivered != 0 {
+					panic("looping packet escaped the ring")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if got := f.ttlExpired.Load(); got != want {
+		t.Fatalf("ttl_expired %d, want %d", got, want)
+	}
+	if got := f.delivered.Load(); got != 0 {
+		t.Fatalf("delivered %d, want 0", got)
+	}
+	// Each packet crosses exactly TTL links before expiring; total node
+	// drop counters account every expiry.
+	var drops uint64
+	for _, name := range f.Nodes() {
+		n, _ := f.Node(name)
+		drops += n.dropped.Load()
+	}
+	if drops != want {
+		t.Fatalf("node drop sum %d, want %d", drops, want)
+	}
+	if !strings.Contains(f.Obs.Prometheus(), "p4runpro_fabric_ttl_expired_total 100") {
+		t.Error("ttl_expired counter missing from metrics exposition")
+	}
+}
+
+// TestLinkLoss arms a link's fault point and checks the loss is charged to
+// the link and the fabric, not to a switch verdict.
+func TestLinkLoss(t *testing.T) {
+	t.Cleanup(faults.DisarmAll)
+	f := New(Options{})
+	if _, err := f.Add("a0", fwdSwitch(t, f.ChainNextPort())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("a1", fwdSwitch(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WireChain("a", 2, rmt.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+	lk, _ := f.Link("a0", f.ChainNextPort())
+	pt, ok := faults.Lookup(lk.LossPoint())
+	if !ok {
+		t.Fatalf("loss point %q not registered", lk.LossPoint())
+	}
+	pt.FailNth(2, nil)
+
+	first, _ := f.Inject("a0", testPacket(), 1)
+	lost, _ := f.Inject("a0", testPacket(), 1)
+	third, _ := f.Inject("a0", testPacket(), 1)
+	if first.Delivered != 1 || third.Delivered != 1 {
+		t.Fatalf("surrounding packets not delivered: %+v %+v", first, third)
+	}
+	if lost.LinkLost != 1 || lost.Delivered != 0 {
+		t.Fatalf("second packet %+v, want link-lost", lost)
+	}
+	tx, rx, drops := lk.Stats()
+	if tx != 3 || rx != 2 || drops != 1 {
+		t.Fatalf("link tx/rx/drops %d/%d/%d, want 3/2/1", tx, rx, drops)
+	}
+	if got := f.linkLost.Load(); got != 1 {
+		t.Fatalf("fabric link_lost %d, want 1", got)
+	}
+}
+
+// TestPathTraceStitching samples every packet and checks the stitched trace
+// carries one postcard per hop under a single fabric-assigned path ID, with
+// link latencies accumulated.
+func TestPathTraceStitching(t *testing.T) {
+	f := New(Options{PathSampleEvery: 1})
+	for i, egress := range []int{f.ChainNextPort(), f.ChainNextPort(), 2} {
+		if _, err := f.Add(nodeName("p", i), fwdSwitch(t, egress)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WireChain("p", 3, rmt.DefaultConfig(), 10*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := f.Inject("p0", testPacket(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trace
+	if tr == nil {
+		t.Fatal("packet not path-sampled at PathSampleEvery=1")
+	}
+	if !tr.Delivered() {
+		t.Fatalf("trace status %v, want delivered", tr.Status)
+	}
+	want := []string{"p0", "p1", "p2"}
+	got := tr.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("trace nodes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace nodes %v, want %v", got, want)
+		}
+	}
+	for i, h := range tr.Hops {
+		if h.Postcard == nil {
+			t.Fatalf("hop %d has no postcard", i)
+		}
+		if h.Postcard.PathID != tr.ID {
+			t.Fatalf("hop %d postcard path id %d, want %d", i, h.Postcard.PathID, tr.ID)
+		}
+		if h.Verdict != rmt.VerdictForwarded {
+			t.Fatalf("hop %d verdict %v", i, h.Verdict)
+		}
+	}
+	if tr.Latency != 20*time.Microsecond {
+		t.Errorf("trace latency %v, want 20µs (2 links x 10µs)", tr.Latency)
+	}
+	if tr.ExitPort != 2 {
+		t.Errorf("exit port %d, want 2", tr.ExitPort)
+	}
+	// The trace ring retains it; the wire form renders all hops.
+	traces := f.Traces()
+	if len(traces) != 1 || traces[0] != tr {
+		t.Fatalf("trace ring %v, want the one trace", traces)
+	}
+	js := tr.JSON()
+	if len(js.Hops) != 3 || js.Status != "delivered" || js.Hops[1].Node != "p1" {
+		t.Fatalf("wire trace %+v", js)
+	}
+	if s := tr.String(); !strings.Contains(s, "p0:1 -> p1:") || !strings.Contains(s, "delivered") {
+		t.Errorf("trace string %q", s)
+	}
+}
+
+// TestMulticastFanout wires a root to two edge nodes and multicasts across
+// both links: each copy must be delivered independently.
+func TestMulticastFanout(t *testing.T) {
+	f := New(Options{})
+	root := rmt.New(rmt.DefaultConfig())
+	tbl, err := root.AddTable("mc", rmt.Ingress, 0, 8, 1, func(p *rmt.PHV) []uint32 {
+		return p.KeyScratch(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.RegisterAction("mcast", 0, func(p *rmt.PHV, _ []uint32) {
+		p.Meta.McastGroup = 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetDefault("mcast"); err != nil {
+		t.Fatal(err)
+	}
+	root.SetMulticastGroup(5, []int{48, 49})
+	if _, err := f.Add("root", root); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e0", "e1"} {
+		if _, err := f.Add(name, fwdSwitch(t, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Connect("root", 48, "e0", 48, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect("root", 49, "e1", 48, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := f.Inject("root", testPacket(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Delivered != 2 {
+		t.Fatalf("delivery %+v, want 2 delivered copies", d)
+	}
+	for _, name := range []string{"e0", "e1"} {
+		n, _ := f.Node(name)
+		if got := n.SW.PortStats(2).TxPackets; got != 1 {
+			t.Errorf("%s edge tx %d, want 1", name, got)
+		}
+	}
+}
+
+// TestWiringErrors covers the topology guard rails.
+func TestWiringErrors(t *testing.T) {
+	f := New(Options{})
+	if _, err := f.Add("x", fwdSwitch(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Add("x", fwdSwitch(t, 0)); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := f.Add("y", fwdSwitch(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect("x", 48, "y", 48, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ConnectOneWay("x", 48, "y", 50, 0); err == nil {
+		t.Error("double-wired port accepted")
+	}
+	if err := f.Connect("x", 50, "zz", 48, 0); err == nil {
+		t.Error("link to unknown node accepted")
+	}
+	if _, err := f.Inject("zz", testPacket(), 1); err == nil {
+		t.Error("inject at unknown node accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/traffic"
+)
+
+// Leaf-spine integration scenario: two leaves and one spine, each running
+// the full P4runpro data plane with runtime-linked programs.
+//
+//   - Each leaf counts the flows entering on its edge port in a CMS row and
+//     forwards them up to the spine ("up" program, filtered on
+//     meta.ingress_port = 1).
+//   - The spine routes on destination prefix: 10.100/16 down to leaf0,
+//     10.101/16 down to leaf1, counting each direction in its own CMS row.
+//   - Each leaf emits traffic returning from the spine on edge port 2
+//     ("down" program, filtered on the uplink ingress port).
+//
+// Mixed TCP/UDP traffic enters both leaves (each leaf's flows destined to
+// the other leaf's prefix), so every packet crosses two fabric links:
+// leaf -> spine -> leaf.
+
+const leafMem = 512
+
+func leafPrograms(uplink int) string {
+	return fmt.Sprintf(`@ up_cms %d
+program up(
+    <meta.ingress_port, 1, 0xffffffff>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(up_cms);
+    MEMADD(up_cms); //count, then send to the spine
+    FORWARD(%d);
+}
+program down(
+    <meta.ingress_port, %d, 0xffffffff>) {
+    FORWARD(2); //hand returning traffic to the edge
+}
+`, leafMem, uplink, uplink)
+}
+
+func spinePrograms(down0, down1 int) string {
+	return fmt.Sprintf(`@ d0_cms %d
+@ d1_cms %d
+program to0(
+    <hdr.ipv4.dst, 10.100.0.0, 0xffff0000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(d0_cms);
+    MEMADD(d0_cms);
+    FORWARD(%d);
+}
+program to1(
+    <hdr.ipv4.dst, 10.101.0.0, 0xffff0000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(d1_cms);
+    MEMADD(d1_cms);
+    FORWARD(%d);
+}
+`, leafMem, leafMem, down0, down1)
+}
+
+// cmsSum reads a full CMS row and sums it. One CMS row's sum equals the
+// total packets counted into it regardless of hash placement, which is what
+// makes leaf-vs-spine aggregation exactly comparable.
+func cmsSum(t *testing.T, ct *controlplane.Controller, program, mem string) uint64 {
+	t.Helper()
+	vals, err := ct.ReadMemoryRange(program, mem, 0, leafMem)
+	if err != nil {
+		t.Fatalf("read %s/%s: %v", program, mem, err)
+	}
+	var sum uint64
+	for _, v := range vals {
+		sum += uint64(v)
+	}
+	return sum
+}
+
+func TestLeafSpineEndToEnd(t *testing.T) {
+	cfg := rmt.DefaultConfig()
+	opt := core.DefaultOptions()
+	f := New(Options{PathSampleEvery: 40})
+
+	cts := make(map[string]*controlplane.Controller)
+	for _, name := range []string{"leaf0", "leaf1", "spine0"} {
+		ct, err := controlplane.New(cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Add(name, ct.SW); err != nil {
+			t.Fatal(err)
+		}
+		cts[name] = ct
+	}
+	if err := f.WireLeafSpine(2, 1, cfg, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// Programs: leaves count-and-uplink, spine routes on destination prefix.
+	for l := 0; l < 2; l++ {
+		leaf := cts[fmt.Sprintf("leaf%d", l)]
+		if _, err := leaf.Deploy(leafPrograms(f.LeafUplinkPort(0))); err != nil {
+			t.Fatalf("leaf%d deploy: %v", l, err)
+		}
+	}
+	if _, err := cts["spine0"].Deploy(spinePrograms(f.SpineDownlinkPort(0), f.SpineDownlinkPort(1))); err != nil {
+		t.Fatalf("spine deploy: %v", err)
+	}
+
+	// Mixed TCP/UDP feeds: leaf0's flows target leaf1's prefix (10.101/16)
+	// and vice versa, so all traffic crosses the spine.
+	gen := func(seed int64, dstThird byte) *traffic.Trace {
+		c := traffic.DefaultConfig()
+		c.Seed = seed
+		c.Flows = 64
+		c.HeavyFlows = 8
+		c.DurationMs = 100
+		c.RateMbps = 10
+		c.DstPrefix = [2]byte{10, dstThird}
+		return traffic.Generate(c)
+	}
+	feed0 := gen(11, 101)
+	feed1 := gen(23, 100)
+	merged := traffic.MergeFeeds(
+		traffic.Feed{Node: "leaf0", Trace: feed0},
+		traffic.Feed{Node: "leaf1", Trace: feed1},
+	)
+
+	res, err := f.Replay(merged, nil, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(len(merged.Events))
+	n0, n1 := uint64(len(feed0.Events)), uint64(len(feed1.Events))
+
+	// End-to-end outcome: every packet delivered, two hops each.
+	if res.Packets != total {
+		t.Fatalf("packets %d, want %d", res.Packets, total)
+	}
+	if res.Delivered != total || res.Dropped != 0 || res.TTLExpired != 0 || res.Consumed != 0 {
+		t.Fatalf("delivered %d dropped %d ttl %d consumed %d, want all %d delivered",
+			res.Delivered, res.Dropped, res.TTLExpired, res.Consumed, total)
+	}
+	if len(res.Hops) != 3 || res.Hops[2] != total {
+		t.Fatalf("hop histogram %v, want all %d at 2 hops", res.Hops, total)
+	}
+
+	// Per-node accounting matches the switches' own port counters: each
+	// leaf delivers the traffic addressed to it on edge port 2.
+	leaf0SW, leaf1SW := cts["leaf0"].SW, cts["leaf1"].SW
+	if got := leaf0SW.PortStats(2).TxPackets; got != n1 {
+		t.Errorf("leaf0 edge tx %d, want %d", got, n1)
+	}
+	if got := leaf1SW.PortStats(2).TxPackets; got != n0 {
+		t.Errorf("leaf1 edge tx %d, want %d", got, n0)
+	}
+	if got := res.PerNode["leaf0"].Delivered + res.PerNode["leaf1"].Delivered; got != total {
+		t.Errorf("per-node delivered sum %d, want %d", got, total)
+	}
+	if got := res.PerNode["spine0"].Injected; got != total {
+		t.Errorf("spine injected %d, want %d", got, total)
+	}
+
+	// Per-link accounting: every uplink/downlink carried exactly its feed.
+	for _, c := range []struct {
+		node string
+		port int
+		want uint64
+	}{
+		{"leaf0", f.LeafUplinkPort(0), n0},
+		{"leaf1", f.LeafUplinkPort(0), n1},
+		{"spine0", f.SpineDownlinkPort(0), n1},
+		{"spine0", f.SpineDownlinkPort(1), n0},
+	} {
+		lk, ok := f.Link(c.node, c.port)
+		if !ok {
+			t.Fatalf("no link at %s:%d", c.node, c.port)
+		}
+		tx, rx, drops := lk.Stats()
+		if tx != c.want || rx != c.want || drops != 0 {
+			t.Errorf("link %s tx/rx/drops %d/%d/%d, want %d/%d/0", lk, tx, rx, drops, c.want, c.want)
+		}
+	}
+
+	// Aggregation: a CMS row's sum equals the packets counted into it, so
+	// the spine's per-direction counts must equal each remote leaf's local
+	// count, and the spine total the sum over leaves.
+	leaf0Up := cmsSum(t, cts["leaf0"], "up", "up_cms")
+	leaf1Up := cmsSum(t, cts["leaf1"], "up", "up_cms")
+	spineTo0 := cmsSum(t, cts["spine0"], "to0", "d0_cms")
+	spineTo1 := cmsSum(t, cts["spine0"], "to1", "d1_cms")
+	if leaf0Up != n0 || leaf1Up != n1 {
+		t.Errorf("leaf CMS sums %d/%d, want %d/%d", leaf0Up, leaf1Up, n0, n1)
+	}
+	if spineTo1 != leaf0Up {
+		t.Errorf("spine to-leaf1 count %d != leaf0 local count %d", spineTo1, leaf0Up)
+	}
+	if spineTo0 != leaf1Up {
+		t.Errorf("spine to-leaf0 count %d != leaf1 local count %d", spineTo0, leaf1Up)
+	}
+	if spineTo0+spineTo1 != leaf0Up+leaf1Up {
+		t.Errorf("spine aggregate %d != leaves aggregate %d", spineTo0+spineTo1, leaf0Up+leaf1Up)
+	}
+
+	// Stitched path telemetry: at least one sampled trace shows the full
+	// leaf -> spine -> leaf hop sequence with a postcard at every hop.
+	if len(res.Traces) == 0 {
+		t.Fatal("no path traces sampled")
+	}
+	found := false
+	for _, tr := range res.Traces {
+		if !tr.Delivered() || len(tr.Hops) != 3 {
+			continue
+		}
+		nodes := tr.Nodes()
+		if nodes[1] != "spine0" || nodes[0] == nodes[2] {
+			continue
+		}
+		for i, h := range tr.Hops {
+			if h.Postcard == nil || h.Postcard.PathID != tr.ID {
+				t.Fatalf("trace %d hop %d postcard missing or mis-keyed", tr.ID, i)
+			}
+		}
+		if tr.Latency != 2*time.Microsecond {
+			t.Errorf("trace latency %v, want 2µs", tr.Latency)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatalf("no delivered leaf->spine->leaf trace among %d samples", len(res.Traces))
+	}
+
+	// The replay moved real traffic; throughput must be measurable.
+	if res.PPS() <= 0 {
+		t.Errorf("pps %f, want > 0", res.PPS())
+	}
+}

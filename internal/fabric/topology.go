@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"p4runpro/internal/rmt"
+)
+
+// Topology builders. All of them create the switches themselves (one
+// rmt.Switch per node, from the given config), register them as nodes, and
+// wire fabric links starting at Options.PortBase, leaving ports below the
+// base free for edge traffic. Port conventions:
+//
+//	chain/ring:  port base+0 faces the previous node, base+1 the next
+//	leaf–spine:  leaf l's port base+s faces spine s;
+//	             spine s's port base+l faces leaf l
+//
+// The helpers ChainPrevPort/ChainNextPort/LeafUplinkPort/SpineDownlinkPort
+// name these conventions so callers never hard-code offsets.
+
+// ChainPrevPort is the port of a chain/ring node facing its predecessor.
+func (f *Fabric) ChainPrevPort() int { return f.opt.PortBase }
+
+// ChainNextPort is the port of a chain/ring node facing its successor.
+func (f *Fabric) ChainNextPort() int { return f.opt.PortBase + 1 }
+
+// LeafUplinkPort is the leaf port facing the given spine.
+func (f *Fabric) LeafUplinkPort(spine int) int { return f.opt.PortBase + spine }
+
+// SpineDownlinkPort is the spine port facing the given leaf.
+func (f *Fabric) SpineDownlinkPort(leaf int) int { return f.opt.PortBase + leaf }
+
+// WireChain builds nodes named name0..name<n-1> from cfg and wires them in a
+// line: node i's next port to node i+1's prev port, full duplex.
+func (f *Fabric) WireChain(name string, n int, cfg rmt.Config, latency time.Duration) error {
+	if n < 2 {
+		return fmt.Errorf("fabric: chain needs >= 2 nodes, got %d", n)
+	}
+	if err := f.addSeries(name, n, cfg); err != nil {
+		return err
+	}
+	for i := 0; i+1 < n; i++ {
+		a := fmt.Sprintf("%s%d", name, i)
+		b := fmt.Sprintf("%s%d", name, i+1)
+		if err := f.Connect(a, f.ChainNextPort(), b, f.ChainPrevPort(), latency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WireRing builds a chain and closes it: the last node's next port wires
+// back to the first node's prev port.
+func (f *Fabric) WireRing(name string, n int, cfg rmt.Config, latency time.Duration) error {
+	if n < 3 {
+		return fmt.Errorf("fabric: ring needs >= 3 nodes, got %d", n)
+	}
+	if err := f.WireChain(name, n, cfg, latency); err != nil {
+		return err
+	}
+	last := fmt.Sprintf("%s%d", name, n-1)
+	first := fmt.Sprintf("%s%d", name, 0)
+	return f.Connect(last, f.ChainNextPort(), first, f.ChainPrevPort(), latency)
+}
+
+// WireLeafSpine builds leaves leaf0..leaf<L-1> and spines spine0..spine<S-1>
+// from cfg and wires every leaf to every spine (a full bipartite folded
+// Clos), full duplex, using the LeafUplinkPort/SpineDownlinkPort layout.
+func (f *Fabric) WireLeafSpine(leaves, spines int, cfg rmt.Config, latency time.Duration) error {
+	if leaves < 1 || spines < 1 {
+		return fmt.Errorf("fabric: leaf-spine needs >= 1 leaf and >= 1 spine, got %d/%d", leaves, spines)
+	}
+	if err := f.addSeries("leaf", leaves, cfg); err != nil {
+		return err
+	}
+	if err := f.addSeries("spine", spines, cfg); err != nil {
+		return err
+	}
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			leaf := fmt.Sprintf("leaf%d", l)
+			spine := fmt.Sprintf("spine%d", s)
+			if err := f.Connect(leaf, f.LeafUplinkPort(s), spine, f.SpineDownlinkPort(l), latency); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addSeries ensures nodes name0..name<n-1> exist, creating plain switches
+// from cfg for the missing ones. Pre-adding a node under the same name (for
+// example a controller-provisioned switch carrying the P4runpro data plane)
+// makes the builder wire links around it instead.
+func (f *Fabric) addSeries(name string, n int, cfg rmt.Config) error {
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s%d", name, i)
+		if _, exists := f.nodes[id]; exists {
+			continue
+		}
+		if _, err := f.Add(id, rmt.New(cfg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

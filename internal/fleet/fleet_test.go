@@ -118,6 +118,51 @@ func TestPlacementPolicies(t *testing.T) {
 	}
 }
 
+func TestTopologyAwarePlacement(t *testing.T) {
+	views := []MemberView{
+		{Name: "leaf0", EntriesFree: 900, EntriesCap: 1000, MemFree: 9000, MemCap: 10000},
+		{Name: "leaf1", EntriesFree: 900, EntriesCap: 1000, MemFree: 9000, MemCap: 10000},
+		{Name: "spine0", EntriesFree: 900, EntriesCap: 1000, MemFree: 9000, MemCap: 10000},
+	}
+	fp := Footprint{Entries: 50, MemWords: 500}
+
+	// The member seeing the most edge traffic wins, regardless of the base
+	// policy's alphabetical tie break.
+	ta := TopologyAware{Traffic: func() map[string]uint64 {
+		return map[string]uint64{"leaf0": 10, "leaf1": 5000, "spine0": 0}
+	}}
+	got, err := ta.Place(views, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "leaf1" || got[1] != "leaf0" || got[2] != "spine0" {
+		t.Errorf("topology-aware order = %v", got)
+	}
+
+	// Capacity still gates: a member that cannot fit is excluded even when
+	// it carries all the traffic.
+	views[1].EntriesFree = 10
+	got, err = ta.Place(views, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "leaf0" {
+		t.Errorf("topology-aware with full leaf1 = %v", got)
+	}
+	views[1].EntriesFree = 900
+
+	// No signal (nil func or empty map): pure base-policy order.
+	got, _ = TopologyAware{}.Place(views, fp)
+	if got[0] != "leaf0" || got[1] != "leaf1" || got[2] != "spine0" {
+		t.Errorf("topology-aware without signal = %v", got)
+	}
+
+	// The fabric's EdgeRx plugs in directly as the traffic signal.
+	if (TopologyAware{}).Name() != "topology-aware" {
+		t.Error("policy name")
+	}
+}
+
 func TestStore(t *testing.T) {
 	s := NewStore()
 	u := &Unit{Key: "a,b", Programs: []string{"a", "b"}, Replicas: 2, Members: []string{"m1"}}

@@ -140,6 +140,54 @@ func (r ReplicateK) Place(members []MemberView, fp Footprint) ([]string, error) 
 	return base.Place(members, fp)
 }
 
+// TopologyAware places programs where their traffic enters the network: it
+// ranks fitting members by descending observed edge traffic (packets
+// received on non-fabric ports, from a signal such as fabric.EdgeRx), so a
+// heavy-hitter or cache program lands on the leaf its flows arrive at
+// instead of a random member. Members the signal knows nothing about rank
+// last; ties (including an absent signal) defer to Base (Spread when nil).
+type TopologyAware struct {
+	// Traffic returns packets observed entering the network per member
+	// name. Called once per placement; may be nil.
+	Traffic func() map[string]uint64
+	Base    Policy
+}
+
+// Name identifies the policy.
+func (TopologyAware) Name() string { return "topology-aware" }
+
+// Place ranks fitting members by descending edge traffic, deferring ties
+// to the base policy's order.
+func (t TopologyAware) Place(members []MemberView, fp Footprint) ([]string, error) {
+	base := t.Base
+	if base == nil {
+		base = Spread{}
+	}
+	ranked, err := base.Place(members, fp)
+	if err != nil {
+		return nil, err
+	}
+	var traffic map[string]uint64
+	if t.Traffic != nil {
+		traffic = t.Traffic()
+	}
+	if len(traffic) == 0 {
+		return ranked, nil
+	}
+	pos := make(map[string]int, len(ranked))
+	for i, name := range ranked {
+		pos[name] = i
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		ti, tj := traffic[ranked[i]], traffic[ranked[j]]
+		if ti != tj {
+			return ti > tj
+		}
+		return pos[ranked[i]] < pos[ranked[j]]
+	})
+	return ranked, nil
+}
+
 // replicas returns how many members a policy wants for one unit.
 func replicas(p Policy) int {
 	if r, ok := p.(ReplicateK); ok && r.K > 1 {

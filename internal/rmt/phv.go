@@ -77,6 +77,11 @@ type Metadata struct {
 	McastGroup  int  // MULTICAST: nonzero selects a replication group
 	QueueDepth  uint32
 	PktLen      uint32
+	// TTL is the fabric-level hop budget remaining for this packet (link
+	// traversals it may still make), stamped at injection by the fabric
+	// forwarding engine and surfaced to programs as the meta.ttl
+	// intrinsic. Zero for packets injected outside a fabric.
+	TTL uint32
 }
 
 // PHV is the per-packet header vector flowing through the pipelines: the

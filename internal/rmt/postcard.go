@@ -39,8 +39,12 @@ type PostcardHop struct {
 
 // Postcard is the recorded path of one sampled packet.
 type Postcard struct {
-	Seq       uint64 // monotonically increasing postcard number
-	InPort    int
+	Seq    uint64 // monotonically increasing postcard number
+	InPort int
+	// PathID is the fabric-assigned end-to-end path-trace ID for packets
+	// traced across a multi-switch topology (see InjectCtx); zero for
+	// postcards sampled by the switch's own 1-in-N sampler.
+	PathID    uint64
 	Flow      pkt.FiveTuple
 	Verdict   Verdict
 	OutPort   int
@@ -238,26 +242,47 @@ func (s *Switch) samplePostcard() *pathTrace {
 	return tr
 }
 
+// forceTrace returns a recording buffer unconditionally, bypassing the
+// 1-in-N sampler — the fabric layer's path tracing decides sampling at the
+// topology edge and then forces a postcard at every hop of the chosen
+// packet, so a stitched path trace never has holes.
+func (s *Switch) forceTrace() *pathTrace {
+	tr, _ := s.post.pool.Get().(*pathTrace)
+	if tr == nil {
+		tr = &pathTrace{}
+	}
+	tr.reset()
+	tr.start = time.Now()
+	return tr
+}
+
+// buildPostcard assembles one finished trace buffer into an immutable
+// postcard record. The caller owns publishing it and returning tr to the
+// pool.
+func (s *Switch) buildPostcard(tr *pathTrace, p *pkt.Packet, inPort int, res Result, pathID uint64) *Postcard {
+	pc := &Postcard{
+		Seq:       s.post.count.Add(1),
+		InPort:    inPort,
+		PathID:    pathID,
+		Verdict:   res.Verdict,
+		OutPort:   res.OutPort,
+		Passes:    res.Passes,
+		Recircs:   tr.recircs,
+		Latency:   time.Since(tr.start),
+		Hops:      append([]PostcardHop(nil), tr.hops[:tr.n]...),
+		Truncated: tr.truncated,
+	}
+	if p != nil {
+		pc.Flow = p.FiveTuple()
+	}
+	return pc
+}
+
 // recordPostcard assembles the sampled packet's postcard and publishes it,
 // returning the trace buffer to the pool.
 func (s *Switch) recordPostcard(tr *pathTrace, p *pkt.Packet, inPort int, res Result) {
-	ring := s.post.ring.Load()
-	if ring != nil {
-		pc := &Postcard{
-			Seq:       s.post.count.Add(1),
-			InPort:    inPort,
-			Verdict:   res.Verdict,
-			OutPort:   res.OutPort,
-			Passes:    res.Passes,
-			Recircs:   tr.recircs,
-			Latency:   time.Since(tr.start),
-			Hops:      append([]PostcardHop(nil), tr.hops[:tr.n]...),
-			Truncated: tr.truncated,
-		}
-		if p != nil {
-			pc.Flow = p.FiveTuple()
-		}
-		ring.put(pc)
+	if ring := s.post.ring.Load(); ring != nil {
+		ring.put(s.buildPostcard(tr, p, inPort, res, 0))
 	}
 	s.post.pool.Put(tr)
 }

@@ -48,9 +48,12 @@ func (v Verdict) String() string {
 
 // Result reports what happened to one injected packet.
 type Result struct {
-	Verdict  Verdict
-	OutPort  int
-	OutPorts []int // multicast replication targets
+	Verdict Verdict
+	OutPort int
+	// OutPorts lists multicast replication targets. It references the
+	// switch's immutable group snapshot — callers may read and retain it
+	// but must not mutate it.
+	OutPorts []int
 	Packet   *pkt.Packet
 	Passes   int // pipeline passes consumed (1 = no recirculation)
 }
@@ -175,8 +178,13 @@ type Switch struct {
 	onParse  func(*PHV)
 	onEmit   func(*PHV)
 
-	mcastMu sync.RWMutex
-	mcast   map[int][]int // multicast group -> egress ports
+	// mcast is the published multicast-group snapshot (group -> egress
+	// ports), immutable once stored: writers rebuild the whole map under
+	// mcastMu and swap the pointer, so the packet path resolves replication
+	// lists with one atomic load and zero allocation (same pattern as the
+	// table match-state snapshots).
+	mcastMu sync.Mutex
+	mcast   atomic.Pointer[map[int][]int]
 
 	ports   []portCounter
 	rx      []portCounter
@@ -267,24 +275,42 @@ func (s *Switch) SetEmitHook(fn func(*PHV)) { s.onEmit = fn }
 
 // SetMulticastGroup configures the traffic manager's replication list for a
 // group ID (control-plane raw API). An empty port list deletes the group.
+// The update is copy-on-write: in-flight packets keep resolving against the
+// snapshot they loaded, exactly like concurrent table-entry updates.
 func (s *Switch) SetMulticastGroup(group int, ports []int) {
 	s.mcastMu.Lock()
 	defer s.mcastMu.Unlock()
-	if s.mcast == nil {
-		s.mcast = make(map[int][]int)
+	var cur map[int][]int
+	if p := s.mcast.Load(); p != nil {
+		cur = *p
+	}
+	next := make(map[int][]int, len(cur)+1)
+	for g, ps := range cur {
+		next[g] = ps
 	}
 	if len(ports) == 0 {
-		delete(s.mcast, group)
-		return
+		delete(next, group)
+	} else {
+		next[group] = append([]int(nil), ports...)
 	}
-	s.mcast[group] = append([]int(nil), ports...)
+	s.mcast.Store(&next)
 }
 
-// MulticastGroup returns a group's replication list.
+// MulticastGroup returns a copy of a group's replication list.
 func (s *Switch) MulticastGroup(group int) []int {
-	s.mcastMu.RLock()
-	defer s.mcastMu.RUnlock()
-	return append([]int(nil), s.mcast[group]...)
+	return append([]int(nil), s.mcastPorts(group)...)
+}
+
+// mcastPorts resolves a group's replication list lock-free against the
+// published snapshot. The returned slice is shared and immutable — the
+// packet path (and Result.OutPorts) may reference it but must never mutate
+// it.
+func (s *Switch) mcastPorts(group int) []int {
+	p := s.mcast.Load()
+	if p == nil {
+		return nil
+	}
+	return (*p)[group]
 }
 
 // AddTable creates and binds a table to a stage. Tables within a stage are
@@ -401,6 +427,55 @@ func (s *Switch) Inject(p *pkt.Packet, inPort int) Result {
 	return res
 }
 
+// InjectCtx carries fabric-level context into one injection: the remaining
+// hop budget (surfaced to programs as the meta.ttl intrinsic) and, for
+// path-sampled packets, forced postcard recording keyed by a fabric-assigned
+// path ID so per-hop postcards can be stitched into end-to-end path traces.
+type InjectCtx struct {
+	TTL    uint32
+	PathID uint64 // stitched path-trace ID stamped into the postcard
+	Traced bool   // force postcard recording regardless of the 1-in-N sampler
+}
+
+// InjectWith is the ingress injection hook used by the fabric layer: it runs
+// one packet exactly like Inject but stamps ctx.TTL into the PHV's intrinsic
+// metadata and, when ctx.Traced is set, records a postcard unconditionally
+// (bypassing the 1-in-N sampler) and returns it with ctx.PathID attached.
+// The returned postcard is nil for untraced injections that the regular
+// sampler also skipped.
+func (s *Switch) InjectWith(p *pkt.Packet, inPort int, ctx InjectCtx) (Result, *Postcard) {
+	var tr *pathTrace
+	if ctx.Traced {
+		tr = s.forceTrace()
+	} else {
+		tr = s.samplePostcard()
+	}
+	if inPort >= 0 && inPort < len(s.rx) {
+		s.rx[inPort].add(p.WireLen)
+	}
+	phv := s.phvPool.Get().(*PHV)
+	phv.reset(s.layout, p, inPort)
+	phv.Meta.TTL = ctx.TTL
+	phv.trace = tr
+	res := s.run(phv, p, inPort)
+	phv.trace = nil
+	s.phvPool.Put(phv)
+	if !s.instrOff {
+		s.met.packets.Add(1)
+		s.met.passes.Add(uint64(res.Passes))
+		s.met.verdicts[res.Verdict].Add(1)
+	}
+	var pc *Postcard
+	if tr != nil {
+		pc = s.buildPostcard(tr, p, inPort, res, ctx.PathID)
+		if ring := s.post.ring.Load(); ring != nil {
+			ring.put(pc)
+		}
+		s.post.pool.Put(tr)
+	}
+	return res, pc
+}
+
 func (s *Switch) inject(p *pkt.Packet, inPort int, tr *pathTrace) Result {
 	if inPort >= 0 && inPort < len(s.rx) {
 		s.rx[inPort].add(p.WireLen)
@@ -478,7 +553,7 @@ func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
 		s.cpuMu.Unlock()
 		return Result{Verdict: VerdictToCPU, OutPort: -1, Packet: p, Passes: passes}
 	case phv.Meta.McastGroup != 0:
-		ports := s.MulticastGroup(phv.Meta.McastGroup)
+		ports := s.mcastPorts(phv.Meta.McastGroup)
 		for _, port := range ports {
 			s.tx(port, p)
 		}
@@ -498,7 +573,10 @@ func (s *Switch) run(phv *PHV, p *pkt.Packet, inPort int) Result {
 type BatchItem struct {
 	Pkt  *pkt.Packet
 	Port int
-	Res  Result
+	// TTL is the fabric hop budget stamped into the packet's intrinsic
+	// metadata (see InjectCtx); zero outside a fabric.
+	TTL uint32
+	Res Result
 }
 
 // InjectBatch runs a burst of packets through the switch, filling each
@@ -526,6 +604,7 @@ func (s *Switch) InjectBatch(items []BatchItem) {
 			s.rx[it.Port].add(it.Pkt.WireLen)
 		}
 		phv.reset(s.layout, it.Pkt, it.Port)
+		phv.Meta.TTL = it.TTL
 		phv.trace = tr
 		it.Res = s.run(phv, it.Pkt, it.Port)
 		phv.trace = nil
@@ -589,6 +668,16 @@ func (s *Switch) PortStats(port int) PortCounters {
 		return PortCounters{}
 	}
 	return s.ports[port].snapshot()
+}
+
+// RxStats returns the receive counters of a port (packets injected on it).
+// The fabric layer uses these for per-node tx/rx accounting and for the
+// topology-aware placement policy's edge-traffic estimate.
+func (s *Switch) RxStats(port int) PortCounters {
+	if port < 0 || port >= len(s.rx) {
+		return PortCounters{}
+	}
+	return s.rx[port].snapshot()
 }
 
 // RecircStats returns cumulative recirculated packets and bytes.

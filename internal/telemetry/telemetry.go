@@ -343,15 +343,19 @@ func (e *Engine) Postcards(owner string, limit int) wire.TelemetryPostcardsResul
 		Count: e.ct.SW.PostcardCount(),
 	}
 	for _, pc := range e.ct.SW.Postcards(owner, limit) {
-		res.Postcards = append(res.Postcards, postcardJSON(pc))
+		res.Postcards = append(res.Postcards, PostcardJSON(pc))
 	}
 	return res
 }
 
-func postcardJSON(pc rmt.Postcard) wire.PostcardJSON {
+// PostcardJSON converts one switch postcard into its wire representation.
+// Exported for the fabric layer, which stitches per-hop postcards into
+// end-to-end path traces and renders them through the same JSON shape.
+func PostcardJSON(pc rmt.Postcard) wire.PostcardJSON {
 	out := wire.PostcardJSON{
 		Seq:       pc.Seq,
 		InPort:    pc.InPort,
+		PathID:    pc.PathID,
 		Flow:      pc.Flow.String(),
 		Verdict:   pc.Verdict.String(),
 		OutPort:   pc.OutPort,

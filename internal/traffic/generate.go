@@ -65,6 +65,9 @@ type Event struct {
 	AtMs float64
 	Pkt  *pkt.Packet
 	Port int
+	// Node names the fabric node this event enters at. Empty for
+	// single-switch traces (everything outside internal/fabric ignores it).
+	Node string
 }
 
 // Trace is a generated packet sequence in time order.
@@ -189,6 +192,50 @@ func sortEvents(ev []Event) {
 		for j := i; j > 0 && ev[j].AtMs < ev[j-1].AtMs; j-- {
 			ev[j], ev[j-1] = ev[j-1], ev[j]
 		}
+	}
+}
+
+// Feed pairs a generated trace with the fabric node it enters at; the
+// feed's events keep their per-event ingress ports.
+type Feed struct {
+	Node  string
+	Trace *Trace
+}
+
+// MergeFeeds k-way-merges per-node traces into one time-ordered trace whose
+// events carry their entry node, for fabric-wide replay. Each input trace is
+// already time-sorted (Generate's invariant); ties break by feed order, so
+// the merge is deterministic. Flow lists and ground-truth counts are merged
+// across feeds (counts sum for flows shared between feeds).
+func MergeFeeds(feeds ...Feed) *Trace {
+	out := &Trace{Counts: make(map[pkt.FiveTuple]int)}
+	total := 0
+	for _, f := range feeds {
+		total += len(f.Trace.Events)
+		out.Flows = append(out.Flows, f.Trace.Flows...)
+		for flow, n := range f.Trace.Counts {
+			out.Counts[flow] += n
+		}
+	}
+	out.Events = make([]Event, 0, total)
+	idx := make([]int, len(feeds))
+	for {
+		best := -1
+		for i, f := range feeds {
+			if idx[i] >= len(f.Trace.Events) {
+				continue
+			}
+			if best < 0 || f.Trace.Events[idx[i]].AtMs < feeds[best].Trace.Events[idx[best]].AtMs {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		ev := feeds[best].Trace.Events[idx[best]]
+		ev.Node = feeds[best].Node
+		out.Events = append(out.Events, ev)
+		idx[best]++
 	}
 }
 

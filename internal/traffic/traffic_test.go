@@ -333,3 +333,59 @@ func TestTraceFileReplayEquivalence(t *testing.T) {
 		}
 	}
 }
+
+func TestMergeFeeds(t *testing.T) {
+	gen := func(seed int64) *Trace {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Flows = 16
+		cfg.HeavyFlows = 2
+		cfg.DurationMs = 20
+		cfg.RateMbps = 5
+		return Generate(cfg)
+	}
+	a, b := gen(1), gen(2)
+	m := MergeFeeds(Feed{Node: "leaf0", Trace: a}, Feed{Node: "leaf1", Trace: b})
+
+	if len(m.Events) != len(a.Events)+len(b.Events) {
+		t.Fatalf("merged %d events, want %d", len(m.Events), len(a.Events)+len(b.Events))
+	}
+	// Time order holds across feeds, and every event carries its entry node.
+	perNode := map[string]int{}
+	for i, ev := range m.Events {
+		if i > 0 && ev.AtMs < m.Events[i-1].AtMs {
+			t.Fatalf("event %d out of order: %f < %f", i, ev.AtMs, m.Events[i-1].AtMs)
+		}
+		if ev.Node != "leaf0" && ev.Node != "leaf1" {
+			t.Fatalf("event %d has node %q", i, ev.Node)
+		}
+		perNode[ev.Node]++
+	}
+	if perNode["leaf0"] != len(a.Events) || perNode["leaf1"] != len(b.Events) {
+		t.Fatalf("per-node split %v, want %d/%d", perNode, len(a.Events), len(b.Events))
+	}
+	// Ground-truth counts sum across feeds.
+	var want, got int
+	for _, n := range a.Counts {
+		want += n
+	}
+	for _, n := range b.Counts {
+		want += n
+	}
+	for _, n := range m.Counts {
+		got += n
+	}
+	if got != want {
+		t.Fatalf("merged counts %d, want %d", got, want)
+	}
+	if len(m.Flows) != len(a.Flows)+len(b.Flows) {
+		t.Fatalf("merged flows %d, want %d", len(m.Flows), len(a.Flows)+len(b.Flows))
+	}
+	// Determinism: merging the same feeds again yields the same sequence.
+	m2 := MergeFeeds(Feed{Node: "leaf0", Trace: gen(1)}, Feed{Node: "leaf1", Trace: gen(2)})
+	for i := range m.Events {
+		if m.Events[i].AtMs != m2.Events[i].AtMs || m.Events[i].Node != m2.Events[i].Node {
+			t.Fatalf("merge not deterministic at event %d", i)
+		}
+	}
+}

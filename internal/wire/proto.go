@@ -234,8 +234,10 @@ type PostcardHopJSON struct {
 
 // PostcardJSON is one sampled packet's recorded path.
 type PostcardJSON struct {
-	Seq       uint64            `json:"seq"`
-	InPort    int               `json:"in_port"`
+	Seq    uint64 `json:"seq"`
+	InPort int    `json:"in_port"`
+	PathID uint64 `json:"path_id,omitempty"` // fabric path-trace ID
+
 	Flow      string            `json:"flow"`
 	Verdict   string            `json:"verdict"`
 	OutPort   int               `json:"out_port"`
@@ -244,6 +246,25 @@ type PostcardJSON struct {
 	LatencyNs int64             `json:"latency_ns"`
 	Hops      []PostcardHopJSON `json:"hops"`
 	Truncated bool              `json:"truncated,omitempty"`
+}
+
+// PathHopJSON is one switch traversal of a stitched fabric path trace.
+type PathHopJSON struct {
+	Node     string        `json:"node"`
+	InPort   int           `json:"in_port"`
+	OutPort  int           `json:"out_port"`
+	Verdict  string        `json:"verdict"`
+	Postcard *PostcardJSON `json:"postcard,omitempty"`
+}
+
+// PathTraceJSON is the wire form of an end-to-end fabric path trace: the
+// per-hop postcards stitched under one fabric-assigned packet ID.
+type PathTraceJSON struct {
+	ID        uint64        `json:"id"`
+	Status    string        `json:"status"`
+	LatencyNs int64         `json:"latency_ns"`
+	ExitPort  *int          `json:"exit_port,omitempty"`
+	Hops      []PathHopJSON `json:"hops"`
 }
 
 // TelemetryPostcardsResult carries the sampling config and the matching

@@ -25,6 +25,7 @@ import (
 	"p4runpro/internal/chain"
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
+	"p4runpro/internal/fabric"
 	"p4runpro/internal/lang"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
@@ -119,6 +120,50 @@ func Serve(ct *Controller, addr string) (*Server, string, error) {
 
 // Connect dials a remote controller daemon.
 func Connect(addr string) (*Client, error) { return wire.Dial(addr) }
+
+// Fabric wires switches into multi-switch topologies (chain, ring,
+// leaf–spine) with TTL-limited cross-hop forwarding, fabric-wide replay,
+// and stitched path telemetry; see docs/FABRIC.md.
+type Fabric = fabric.Fabric
+
+// FabricOptions tunes a fabric (hop budget, fabric port base, path-trace
+// sampling).
+type FabricOptions = fabric.Options
+
+// PathTrace is an end-to-end record of one sampled packet's journey across
+// a fabric: per-switch postcards stitched under one fabric-assigned ID.
+type PathTrace = fabric.PathTrace
+
+// FabricReplayOptions tunes fabric-wide replay (burst size, default entry
+// node).
+type FabricReplayOptions = fabric.ReplayOptions
+
+// FabricReplayResult is the end-to-end outcome of a fabric replay:
+// delivery counters, per-node accounting, hop histogram, sampled traces.
+type FabricReplayResult = fabric.ReplayResult
+
+// NewFabric creates an empty fabric; add nodes (OpenFabricNodes) and wire a
+// topology before injecting traffic.
+func NewFabric(opt FabricOptions) *Fabric { return fabric.New(opt) }
+
+// OpenFabricNodes provisions one controller per name (each owning a
+// P4runpro-programmed switch) and registers the switches as fabric nodes,
+// returning the controllers keyed by node name for program deployment.
+// Wire a topology afterwards — the builders reuse pre-added nodes.
+func OpenFabricNodes(f *Fabric, cfg Config, opt Options, names ...string) (map[string]*Controller, error) {
+	out := make(map[string]*Controller, len(names))
+	for _, name := range names {
+		ct, err := controlplane.New(cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Add(name, ct.SW); err != nil {
+			return nil, err
+		}
+		out[name] = ct
+	}
+	return out, nil
+}
 
 // Chain is a path of chained switches acting as one logical target — the
 // paper's §4.1.3 alternative of replacing recirculation with multiple
