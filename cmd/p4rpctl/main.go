@@ -15,6 +15,7 @@
 //	p4rpctl [-addr host:9800] metrics [json]
 //	p4rpctl [-addr host:9800] top [iterations]
 //	p4rpctl [-addr host:9800] trace [owner] [limit]
+//	p4rpctl [-addr host:9800] upgrade start|cutover|commit|abort|status ...
 //
 // Against a fleet daemon (p4rpd -fleet N):
 //
@@ -22,6 +23,7 @@
 //	p4rpctl fleet revoke <program>
 //	p4rpctl fleet list | members | util | top
 //	p4rpctl fleet memread <program> <mem> <addr> [count] [sum|max|first]
+//	p4rpctl fleet upgrade <program> file.p4rp [canaries] [soak-ms]
 package main
 
 import (
@@ -173,6 +175,9 @@ func main() {
 			fatal(err)
 		}
 		printPostcards(res, owner)
+	case "upgrade":
+		need(args, 2)
+		upgradeCmd(c, args[1:])
 	case "fleet":
 		need(args, 2)
 		fleetCmd(c, args[1:])
@@ -186,6 +191,63 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("ok")
+	default:
+		usage()
+	}
+}
+
+// upgradeCmd serves the upgrade.* verbs: the hitless versioned-upgrade
+// lifecycle of one program on a single-switch daemon.
+func upgradeCmd(c *wire.Client, args []string) {
+	printStatus := func(st wire.UpgradeStatusResult) {
+		fmt.Printf("%s: state=%s active=v%d v1=pid%d v2=pid%d (%s) pkts v1=%d v2=%d migrated=%d words cutover=%v\n",
+			st.Program, st.State, st.ActiveVersion, st.V1PID, st.V2PID, st.V2Name,
+			st.V1Packets, st.V2Packets, st.MigratedWords, time.Duration(st.CutoverNs))
+	}
+	switch args[0] {
+	case "start":
+		need(args, 3)
+		src, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		st, err := c.UpgradeStart(args[1], string(src))
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "cutover":
+		need(args, 2)
+		version := 2
+		if len(args) > 2 {
+			version = int(parse32(args[2]))
+		}
+		st, err := c.UpgradeCutover(args[1], version)
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "commit":
+		need(args, 2)
+		st, err := c.UpgradeCommit(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "abort":
+		need(args, 2)
+		st, err := c.UpgradeAbort(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+	case "status":
+		need(args, 2)
+		st, err := c.UpgradeStatus(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		printStatus(st)
 	default:
 		usage()
 	}
@@ -264,6 +326,32 @@ func fleetCmd(c *wire.Client, args []string) {
 			iters = int(parse32(args[1]))
 		}
 		topLoop(iters, func() (wire.TelemetryProgramsResult, error) { return c.FleetTop() })
+	case "upgrade":
+		need(args, 3)
+		src, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		p := wire.FleetUpgradeParams{Name: args[1], Source: string(src)}
+		if len(args) > 3 {
+			p.Canaries = int(parse32(args[3]))
+		}
+		if len(args) > 4 {
+			p.SoakMs = int64(parse32(args[4]))
+		}
+		res, err := c.FleetUpgrade(p)
+		if err != nil {
+			fatal(err)
+		}
+		if res.RolledBack {
+			fmt.Printf("upgrade of %s ROLLED BACK after %d waves: %s\n", res.Unit, res.Waves, res.Reason)
+			os.Exit(1)
+		}
+		fmt.Printf("upgraded %s in %d waves: committed=%v", res.Unit, res.Waves, res.Committed)
+		if len(res.Pinned) > 0 {
+			fmt.Printf(" pinned-to-v1=%v", res.Pinned)
+		}
+		fmt.Println()
 	case "memread":
 		need(args, 4)
 		count := uint32(1)
@@ -396,6 +484,12 @@ commands:
   metrics [json]                           scrape the daemon's metrics registry
   top [iterations]                         per-program rate table (default 1 snapshot; 0 = live view)
   trace [owner] [limit]                    sampled packet postcards, optionally per program
+upgrade commands (hitless versioned replacement of a running program):
+  upgrade start <program> <v2-file.p4rp>   link v2 beside v1, migrate state, gate on v1
+  upgrade cutover <program> [1|2]          atomically switch which version new packets run
+  upgrade commit <program>                 retire v1; v2 takes over the program name
+  upgrade abort <program>                  roll back to v1 and unlink v2
+  upgrade status <program>                 session state and per-version packet counts
 fleet commands (against p4rpd -fleet):
   fleet deploy <file.p4rp> [replicas]      place a unit on the fleet
   fleet revoke <program>                   revoke a unit everywhere
@@ -404,7 +498,9 @@ fleet commands (against p4rpd -fleet):
   fleet util                               per-member per-RPB utilization
   fleet memread <prog> <mem> <addr> [count] [sum|max|first]
                                            aggregate memory across replicas
-  fleet top [iterations]                   fleet-wide per-program rate table`)
+  fleet top [iterations]                   fleet-wide per-program rate table
+  fleet upgrade <program> <v2-file.p4rp> [canaries] [soak-ms]
+                                           health-gated rolling upgrade of a unit`)
 	os.Exit(2)
 }
 

@@ -9,6 +9,7 @@ package controlplane
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/rmt/compile"
 	"p4runpro/internal/smt"
+	"p4runpro/internal/upgrade"
 )
 
 // Controller drives one switch.
@@ -48,6 +50,15 @@ type Controller struct {
 	cRevokeOK, cRevokeErr, cMemOpOK, cMemOpErr *obs.Counter
 	cEntries, cRecompiles                      *obs.Counter
 
+	// Versioned-upgrade sessions by program name (see upgrade.go): the
+	// active session while an upgrade is in flight, or the most recent
+	// terminal one for post-mortem status.
+	upMu     sync.Mutex
+	upgrades map[string]*upgrade.Session
+
+	mUpgradeCutoverNs                                      *obs.Histogram
+	cUpgradeStarted, cUpgradeCommitted, cUpgradeRolledBack *obs.Counter
+
 	// compileOff disables the compiled packet path (SetCompile). The zero
 	// value keeps compilation on: every mutating operation recompiles the
 	// switch's pipeline plan after it lands.
@@ -63,7 +74,10 @@ func New(cfg rmt.Config, opt core.Options) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	ct := &Controller{SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt)}
+	ct := &Controller{
+		SW: sw, Plane: pl, Compiler: core.NewCompiler(pl, opt),
+		upgrades: make(map[string]*upgrade.Session),
+	}
 	ct.initMetrics()
 	ct.recompile()
 	return ct, nil
@@ -196,6 +210,10 @@ func (ct *Controller) Revoke(name string) (RevokeReport, error) {
 
 func (ct *Controller) applyRevoke(name string) (RevokeReport, error) {
 	start := time.Now()
+	if err := ct.upgradeBusy(name); err != nil {
+		observeOp(ct.mRevokeNs, ct.cRevokeOK, ct.cRevokeErr, start, err)
+		return RevokeReport{}, err
+	}
 	st, err := ct.Compiler.Revoke(name)
 	observeOp(ct.mRevokeNs, ct.cRevokeOK, ct.cRevokeErr, start, err)
 	ct.recompile()

@@ -19,6 +19,7 @@ import (
 	"p4runpro/internal/journal"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/rmt"
+	"p4runpro/internal/upgrade"
 )
 
 // ErrNoJournal reports a journal-only operation on a controller without one.
@@ -60,15 +61,20 @@ type jstate struct {
 	caseOps map[string][]journal.Record // per-program incremental-update history
 	mcast   map[int][]int
 
+	upgrades map[string]string   // program -> in-flight v2 source
+	upgraded map[string][]string // program -> committed v2 sources, oldest first
+
 	cReplayErr *obs.Counter
 }
 
 func newJState(j *journal.Journal, reg *obs.Registry) *jstate {
 	return &jstate{
-		j:       j,
-		blobOf:  make(map[string]*blobState),
-		caseOps: make(map[string][]journal.Record),
-		mcast:   make(map[int][]int),
+		j:        j,
+		blobOf:   make(map[string]*blobState),
+		caseOps:  make(map[string][]journal.Record),
+		mcast:    make(map[int][]int),
+		upgrades: make(map[string]string),
+		upgraded: make(map[string][]string),
 		cReplayErr: reg.Counter("p4runpro_journal_replay_op_failures_total",
 			"Replayed operations whose apply failed (deterministic refailures of originally failed ops)."),
 	}
@@ -101,6 +107,8 @@ func (s *jstate) trackRevoke(name string) {
 	b.live[name] = false
 	delete(s.blobOf, name)
 	delete(s.caseOps, name)
+	delete(s.upgrades, name)
+	delete(s.upgraded, name)
 	if !b.anyLive() {
 		for i, bb := range s.blobs {
 			if bb == b {
@@ -117,6 +125,25 @@ func (s *jstate) trackCaseOp(program string, rec journal.Record) {
 
 func (s *jstate) trackMcast(group int, ports []int) {
 	s.mcast[group] = append([]int(nil), ports...)
+}
+
+func (s *jstate) trackUpgradePrepare(program, v2src string) {
+	s.upgrades[program] = v2src
+}
+
+// trackUpgradeCommit promotes the in-flight v2 source into the committed
+// chain and drops the program's case-op history: case updates recorded
+// against v1 must not replay onto v2's freshly-linked tables.
+func (s *jstate) trackUpgradeCommit(program string) {
+	if src, ok := s.upgrades[program]; ok {
+		s.upgraded[program] = append(s.upgraded[program], src)
+		delete(s.upgrades, program)
+	}
+	delete(s.caseOps, program)
+}
+
+func (s *jstate) trackUpgradeAbort(program string) {
+	delete(s.upgrades, program)
 }
 
 // Journal returns the attached write-ahead journal, or nil.
@@ -180,6 +207,18 @@ func (ct *Controller) applyRecord(rec journal.Record) error {
 		return ct.WriteMemory(rec.Program, rec.Mem, rec.Addr, rec.Value)
 	case journal.OpMcastSet:
 		return ct.SetMulticastGroup(rec.Group, rec.Ports)
+	case journal.OpUpgradePrepare:
+		_, err := ct.UpgradePrepare(rec.Name, rec.Source)
+		return err
+	case journal.OpUpgradeCutover:
+		_, err := ct.UpgradeCutover(rec.Name, int(rec.Value))
+		return err
+	case journal.OpUpgradeCommit:
+		_, err := ct.UpgradeCommit(rec.Name)
+		return err
+	case journal.OpUpgradeAbort:
+		_, err := ct.UpgradeAbort(rec.Name)
+		return err
 	}
 	return fmt.Errorf("controlplane: unknown journal op %d", rec.Op)
 }
@@ -219,6 +258,30 @@ func (ct *Controller) snapshotRecords() ([]journal.Record, error) {
 			}
 		}
 	}
+	// Phase 1.5: upgrade history per live program. Committed upgrades replay
+	// as full prepare/cutover/commit chains (in order, so repeated upgrades
+	// land on the final source); an in-flight session replays its prepare —
+	// plus the cutover if v2 currently carries the traffic — leaving the
+	// recovered controller mid-upgrade exactly as it was.
+	for _, b := range ct.jrn.blobs {
+		for _, p := range b.programs {
+			if !b.live[p] {
+				continue
+			}
+			for _, src := range ct.jrn.upgraded[p] {
+				recs = append(recs,
+					journal.Record{Op: journal.OpUpgradePrepare, Name: p, Source: src},
+					journal.Record{Op: journal.OpUpgradeCutover, Name: p, Value: 2},
+					journal.Record{Op: journal.OpUpgradeCommit, Name: p})
+			}
+			if src, ok := ct.jrn.upgrades[p]; ok {
+				recs = append(recs, journal.Record{Op: journal.OpUpgradePrepare, Name: p, Source: src})
+				if st, err := ct.UpgradeStatus(p); err == nil && st.ActiveVersion == 2 {
+					recs = append(recs, journal.Record{Op: journal.OpUpgradeCutover, Name: p, Value: 2})
+				}
+			}
+		}
+	}
 	// Phase 2: the full case-update history per program, preserving the
 	// add/remove order so replay reassigns the same branch IDs.
 	for _, b := range ct.jrn.blobs {
@@ -227,39 +290,25 @@ func (ct *Controller) snapshotRecords() ([]journal.Record, error) {
 		}
 	}
 	// Phase 3: non-zero memory words, read back through the same virtual
-	// address translation writes use.
+	// address translation writes use. In-flight upgrades also carry the v2
+	// side's memory so the prepared-but-uncommitted version recovers with
+	// its migrated (and since-mutated) sketch state.
 	for _, b := range ct.jrn.blobs {
 		for _, p := range b.programs {
 			if !b.live[p] {
 				continue
 			}
-			lp, ok := ct.Compiler.Linked(p)
-			if !ok {
-				continue
+			if err := ct.appendMemRecords(&recs, p); err != nil {
+				return nil, err
 			}
-			blocks := lp.Blocks()
-			names := make([]string, 0, len(blocks))
-			for name := range blocks {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
-				vals, err := ct.ReadMemoryRange(p, name, 0, blocks[name].Size)
-				if err != nil {
-					return nil, fmt.Errorf("snapshot %s/%s: %w", p, name, err)
-				}
-				for addr, v := range vals {
-					if v != 0 {
-						recs = append(recs, journal.Record{
-							Op: journal.OpMemWrite, Program: p, Mem: name,
-							Addr: uint32(addr), Value: v,
-						})
-					}
+			if _, ok := ct.jrn.upgrades[p]; ok {
+				if err := ct.appendMemRecords(&recs, p+upgrade.VersionSuffix); err != nil {
+					return nil, err
 				}
 			}
 		}
 	}
-	// Phase 4: multicast groups.
+	// Phase 4: multicast groups (unchanged by upgrades).
 	groups := make([]int, 0, len(ct.jrn.mcast))
 	for g := range ct.jrn.mcast {
 		groups = append(groups, g)
@@ -269,4 +318,34 @@ func (ct *Controller) snapshotRecords() ([]journal.Record, error) {
 		recs = append(recs, journal.Record{Op: journal.OpMcastSet, Group: g, Ports: ct.jrn.mcast[g]})
 	}
 	return recs, nil
+}
+
+// appendMemRecords emits one OpMemWrite per non-zero memory word of the
+// named linked program (which may be an in-flight upgrade's v2 side).
+func (ct *Controller) appendMemRecords(recs *[]journal.Record, p string) error {
+	lp, ok := ct.Compiler.Linked(p)
+	if !ok {
+		return nil
+	}
+	blocks := lp.Blocks()
+	names := make([]string, 0, len(blocks))
+	for name := range blocks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vals, err := ct.ReadMemoryRange(p, name, 0, blocks[name].Size)
+		if err != nil {
+			return fmt.Errorf("snapshot %s/%s: %w", p, name, err)
+		}
+		for addr, v := range vals {
+			if v != 0 {
+				*recs = append(*recs, journal.Record{
+					Op: journal.OpMemWrite, Program: p, Mem: name,
+					Addr: uint32(addr), Value: v,
+				})
+			}
+		}
+	}
+	return nil
 }

@@ -36,6 +36,15 @@ func (ct *Controller) initMetrics() {
 	ct.cRecompiles = reg.Counter("p4runpro_plan_recompiles_total",
 		"Pipeline-plan recompilations published after mutating operations.")
 
+	ct.cUpgradeStarted = reg.Counter("p4runpro_upgrades_started_total",
+		"Versioned upgrades prepared (v2 linked alongside v1).")
+	ct.cUpgradeCommitted = reg.Counter("p4runpro_upgrades_committed_total",
+		"Versioned upgrades committed (v2 took over the program name).")
+	ct.cUpgradeRolledBack = reg.Counter("p4runpro_upgrades_rolled_back_total",
+		"Versioned upgrades aborted (v2 revoked, v1 kept serving).")
+	ct.mUpgradeCutoverNs = reg.Histogram("p4runpro_upgrade_cutover_ns",
+		"Epoch-publication latency of upgrade cutovers, in nanoseconds.")
+
 	// Compiled-plan occupancy, read from the switch's published plan at
 	// scrape; both report zero while the switch runs interpreted.
 	reg.GaugeFunc("p4runpro_plan_steps", "Lowered table applications in the published pipeline plan.",

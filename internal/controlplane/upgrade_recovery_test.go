@@ -1,0 +1,254 @@
+package controlplane
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"p4runpro/internal/core"
+	"p4runpro/internal/journal"
+	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+)
+
+// Crash-recovery for versioned upgrades: a controller that dies anywhere in
+// the prepare/cutover/commit/abort sequence must recover to a consistent
+// version — exactly the state after the prefix of upgrade records that made
+// it to disk, never a half-migrated hybrid.
+
+const upgRecV1Src = `
+@ tbl 128
+program upgrec(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(tbl);
+    MEMADD(tbl);
+    FORWARD(2);
+}
+`
+
+const upgRecV2Src = `
+@ tbl 128
+program upgrec(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 2);
+    HASH_5_TUPLE_MEM(tbl);
+    MEMADD(tbl);
+    FORWARD(3);
+}
+`
+
+// upgradeJournaledOps is the mid-upgrade crash workload: v1 deploy with
+// state, a full prepare/flip-flop/cutover sequence with interleaved memory
+// writes, one prepare that must fail (already in flight — failures replay
+// deterministically too), the finishing record (commit or abort), and a
+// post-finish write against the surviving version.
+func upgradeJournaledOps(finish journal.Record) []journal.Record {
+	return []journal.Record{
+		{Op: journal.OpDeploy, Source: upgRecV1Src},
+		{Op: journal.OpMemWrite, Program: "upgrec", Mem: "tbl", Addr: 5, Value: 41},
+		{Op: journal.OpUpgradePrepare, Name: "upgrec", Source: upgRecV2Src},
+		{Op: journal.OpMemWrite, Program: "upgrec", Mem: "tbl", Addr: 6, Value: 17},
+		{Op: journal.OpUpgradeCutover, Name: "upgrec", Value: 2},
+		{Op: journal.OpUpgradeCutover, Name: "upgrec", Value: 1},
+		{Op: journal.OpUpgradeCutover, Name: "upgrec", Value: 2},
+		{Op: journal.OpUpgradePrepare, Name: "upgrec", Source: upgRecV2Src},
+		finish,
+		{Op: journal.OpMemWrite, Program: "upgrec", Mem: "tbl", Addr: 7, Value: 99},
+	}
+}
+
+// upgRecDigest is the recovery-equality unit: full controller state plus the
+// upgrade session's externally visible position.
+type upgRecDigest struct {
+	State   stateDigest
+	UpState string
+	Active  int
+}
+
+func upgDigest(t testing.TB, ct *Controller) upgRecDigest {
+	t.Helper()
+	d := upgRecDigest{State: digestState(t, ct, nil)}
+	if st, err := ct.UpgradeStatus("upgrec"); err == nil {
+		d.UpState, d.Active = st.State, st.ActiveVersion
+	}
+	return d
+}
+
+func runUpgradeJournaled(t testing.TB, dir string, ops []journal.Record) []upgRecDigest {
+	t.Helper()
+	ct, err := Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(), journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatalf("Recover(fresh): %v", err)
+	}
+	digests := []upgRecDigest{upgDigest(t, ct)}
+	for _, op := range ops {
+		_ = ct.applyRecord(op) // the duplicate prepare fails by design
+		digests = append(digests, upgDigest(t, ct))
+	}
+	if err := ct.Journal().Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	return digests
+}
+
+// TestRecoveryMidUpgradeAtEveryRecordBoundary crashes the controller at
+// every record boundary of an upgrade (once ending in commit, once in
+// abort) and asserts recovery reproduces exactly the prefix state: the
+// switch is always serving pure v1 or pure v2 with the right memory.
+func TestRecoveryMidUpgradeAtEveryRecordBoundary(t *testing.T) {
+	finishes := map[string]journal.Record{
+		"commit": {Op: journal.OpUpgradeCommit, Name: "upgrec"},
+		"abort":  {Op: journal.OpUpgradeAbort, Name: "upgrec"},
+	}
+	for label, finish := range finishes {
+		t.Run(label, func(t *testing.T) {
+			base := t.TempDir()
+			ops := upgradeJournaledOps(finish)
+			digests := runUpgradeJournaled(t, filepath.Join(base, "primary"), ops)
+
+			wal, err := os.ReadFile(filepath.Join(base, "primary", "wal-00000001.log"))
+			if err != nil {
+				t.Fatalf("read segment: %v", err)
+			}
+			recordEnds := []int{0}
+			for off := 0; off < len(wal); {
+				_, n, err := journal.DecodeFrame(wal[off:])
+				if err != nil {
+					t.Fatalf("segment invalid at %d: %v", off, err)
+				}
+				off += n
+				recordEnds = append(recordEnds, off)
+			}
+			if len(recordEnds) != len(ops)+1 {
+				t.Fatalf("segment holds %d records, want %d", len(recordEnds)-1, len(ops))
+			}
+
+			for k, cut := range recordEnds {
+				dir := filepath.Join(base, fmt.Sprintf("%s-cut-%02d", label, k))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "wal-00000001.log"), wal[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				ct, err := Recover(dir, rmt.DefaultConfig(), core.DefaultOptions(), journal.Options{Sync: journal.SyncNone})
+				if err != nil {
+					t.Fatalf("cut after record %d: Recover: %v", k, err)
+				}
+				got := upgDigest(t, ct)
+				if !reflect.DeepEqual(got, digests[k]) {
+					t.Fatalf("cut after record %d: recovered state diverged\ngot:  %+v\nwant: %+v",
+						k, got, digests[k])
+				}
+				ct.Journal().Close()
+				os.RemoveAll(dir)
+			}
+
+			// The fully recovered controller serves the surviving version:
+			// +2 per packet after commit, +1 after abort.
+			ct, err := Recover(filepath.Join(base, "primary"), rmt.DefaultConfig(), core.DefaultOptions(),
+				journal.Options{Sync: journal.SyncNone})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ct.Journal().Close()
+			before := upgRecMemSum(t, ct)
+			flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 0, 7, 7), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+			if r := ct.SW.Inject(pkt.NewUDP(flow, 100), 1); r.Verdict != rmt.VerdictForwarded {
+				t.Fatalf("post-recovery packet verdict %v", r.Verdict)
+			}
+			delta := upgRecMemSum(t, ct) - before
+			want := uint64(2)
+			if label == "abort" {
+				want = 1
+			}
+			if delta != want {
+				t.Fatalf("post-recovery packet added %d, want %d (%s path)", delta, want, label)
+			}
+		})
+	}
+}
+
+func upgRecMemSum(t testing.TB, ct *Controller) uint64 {
+	t.Helper()
+	vals, err := ct.ReadMemoryRange("upgrec", "tbl", 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s uint64
+	for _, v := range vals {
+		s += uint64(v)
+	}
+	return s
+}
+
+// TestSnapshotMidUpgrade compacts the journal while an upgrade is still in
+// flight (cut over but uncommitted): the snapshot must reproduce both
+// versions' memory and the cutover position, and the recovered controller
+// must be able to finish the upgrade.
+func TestSnapshotMidUpgrade(t *testing.T) {
+	base := t.TempDir()
+	primary := filepath.Join(base, "primary")
+	ct, err := Recover(primary, rmt.DefaultConfig(), core.DefaultOptions(), journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []journal.Record{
+		{Op: journal.OpDeploy, Source: upgRecV1Src},
+		{Op: journal.OpMemWrite, Program: "upgrec", Mem: "tbl", Addr: 5, Value: 41},
+		{Op: journal.OpUpgradePrepare, Name: "upgrec", Source: upgRecV2Src},
+		{Op: journal.OpMemWrite, Program: "upgrec", Mem: "tbl", Addr: 6, Value: 17},
+		{Op: journal.OpUpgradeCutover, Name: "upgrec", Value: 2},
+	}
+	for _, op := range pre {
+		if err := ct.applyRecord(op); err != nil {
+			t.Fatalf("apply %v: %v", op.Op, err)
+		}
+	}
+	if err := ct.Snapshot(); err != nil {
+		t.Fatalf("Snapshot mid-upgrade: %v", err)
+	}
+	want := upgDigest(t, ct)
+	if want.UpState != "cutover" || want.Active != 2 {
+		t.Fatalf("pre-crash session = %s/v%d, want cutover/v2", want.UpState, want.Active)
+	}
+	if err := ct.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(primary, "wal-00000001.log")); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 survived compaction: %v", err)
+	}
+
+	ct2, err := Recover(primary, rmt.DefaultConfig(), core.DefaultOptions(), journal.Options{Sync: journal.SyncAlways})
+	if err != nil {
+		t.Fatalf("Recover from mid-upgrade snapshot: %v", err)
+	}
+	defer ct2.Journal().Close()
+	got := upgDigest(t, ct2)
+	// PIDs may shift across compaction (same caveat as the general
+	// compaction test); everything else must match exactly.
+	for i := range got.State.Programs {
+		got.State.Programs[i].ProgramID = 0
+	}
+	for i := range want.State.Programs {
+		want.State.Programs[i].ProgramID = 0
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-upgrade snapshot recovery diverged\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	// The recovered in-flight upgrade finishes: commit promotes v2, which
+	// serves with the migrated state.
+	if _, err := ct2.UpgradeCommit("upgrec"); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	before := upgRecMemSum(t, ct2)
+	flow := pkt.FiveTuple{SrcIP: pkt.IP(10, 0, 7, 7), DstIP: 9, SrcPort: 1, DstPort: 2, Proto: pkt.ProtoUDP}
+	if r := ct2.SW.Inject(pkt.NewUDP(flow, 100), 1); r.Verdict != rmt.VerdictForwarded {
+		t.Fatalf("post-commit packet verdict %v", r.Verdict)
+	}
+	if delta := upgRecMemSum(t, ct2) - before; delta != 2 {
+		t.Fatalf("post-commit packet added %d, want 2 (v2 semantics)", delta)
+	}
+}

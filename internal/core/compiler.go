@@ -146,6 +146,12 @@ type LinkedProgram struct {
 	pidFrom       *resource.Manager // chain mode: the manager owning the ID
 	entries       []installedEntry
 	addedBranches []int // branch IDs added by incremental case updates
+
+	// deferredInit holds the initialization-block entries of a program
+	// linked with LinkProgramDeferredInit (a versioned upgrade's v2): the
+	// program is fully resident but claims no traffic until the upgrade
+	// commits and InstallDeferredInit enables it.
+	deferredInit []plannedEntry
 }
 
 // passAlloc is one switch's share of a linked program.
@@ -190,7 +196,7 @@ func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
 
 	var out []*LinkedProgram
 	for _, prog := range file.Programs {
-		lp, err := c.linkOne(prog, file.Memories, parseTime)
+		lp, err := c.linkOne(prog, file.Memories, parseTime, false)
 		if err != nil {
 			return out, err
 		}
@@ -201,10 +207,20 @@ func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
 
 // LinkProgram links a single already-parsed program.
 func (c *Compiler) LinkProgram(prog *lang.Program, mems []lang.MemDecl) (*LinkedProgram, error) {
-	return c.linkOne(prog, mems, 0)
+	return c.linkOne(prog, mems, 0, false)
 }
 
-func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime time.Duration) (*LinkedProgram, error) {
+// LinkProgramDeferredInit links a program with its initialization-block
+// entries withheld: every RPB and recirculation entry is installed and every
+// resource committed, but no init-table filter claims traffic for it. A
+// versioned upgrade links v2 this way so the dispatch gate alone decides
+// which packets run it; InstallDeferredInit enables the withheld entries at
+// commit.
+func (c *Compiler) LinkProgramDeferredInit(prog *lang.Program, mems []lang.MemDecl) (*LinkedProgram, error) {
+	return c.linkOne(prog, mems, 0, true)
+}
+
+func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime time.Duration, deferInit bool) (*LinkedProgram, error) {
 	c.mu.Lock()
 	if _, dup := c.linked[prog.Name]; dup {
 		c.mu.Unlock()
@@ -342,6 +358,10 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 	spInstall := span.StartChild(PhaseInstall)
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].kind < plan[j].kind })
 	for _, pe := range plan {
+		if deferInit && pe.kind == kindInit {
+			lp.deferredInit = append(lp.deferredInit, pe)
+			continue
+		}
 		id, err := pe.table.Insert(pe.keys, pe.priority, pe.action, pe.params, prog.Name)
 		if err != nil {
 			c.rollbackEntries(lp)

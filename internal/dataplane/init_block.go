@@ -93,6 +93,9 @@ func (pl *Plane) provisionInitBlock() error {
 		}); err != nil {
 			return err
 		}
+		if err := t.RegisterAction(ActionVersionedDispatch, 1, pl.dispatchVersioned); err != nil {
+			return err
+		}
 		pl.initTables[path] = t
 	}
 	return nil

@@ -10,6 +10,8 @@ package dataplane
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/resource"
@@ -42,6 +44,13 @@ type Plane struct {
 
 	fieldNames []string       // field ID -> name
 	fieldIDs   map[string]int // name -> field ID
+
+	// Version gates for in-flight program upgrades (version_gate.go). The
+	// map is copy-on-write behind an atomic pointer so the dispatch action
+	// resolves gates lock-free on the packet path.
+	gateMu   sync.Mutex
+	gates    atomic.Pointer[map[uint32]*versionGate]
+	nextGate uint32
 }
 
 // Provision lays the P4runpro data plane image onto a freshly created

@@ -87,10 +87,13 @@ func recoverController(t *testing.T, dir string) *controlplane.Controller {
 // deployed through the wire client.
 func TestChaosEveryPoint(t *testing.T) {
 	// The registry also holds "test.*" fixture points registered by the
-	// faults package's own unit tests; no production code checks those.
+	// faults package's own unit tests (no production code checks those) and
+	// "upgrade.*" points that only fire on the versioned-upgrade path, which
+	// this deploy workload never reaches — TestChaosUpgradePoints covers
+	// them with an upgrade workload.
 	points := make([]string, 0, 5)
 	for _, name := range faults.Points() {
-		if !strings.HasPrefix(name, "test.") {
+		if !strings.HasPrefix(name, "test.") && !strings.HasPrefix(name, "upgrade.") {
 			points = append(points, name)
 		}
 	}
@@ -187,6 +190,129 @@ func TestChaosEveryPoint(t *testing.T) {
 			}
 			v, err := rec.ReadMemory("chaosa", "amem", 3)
 			if err != nil || v != 77 {
+				t.Fatalf("recovered memory word = %d, %v; want 77", v, err)
+			}
+		})
+	}
+}
+
+// chaosSrcAv2 upgrades chaosa in place: same name, same filter, same memory
+// block (so state migration has something to carry over), different body.
+const chaosSrcAv2 = `
+@ amem 128
+program chaosa(<hdr.ipv4.src, 10.0.0.0, 0xff000000>) {
+    LOADI(sar, 2);
+    HASH_5_TUPLE_MEM(amem);
+    MEMADD(amem);
+}
+`
+
+// TestChaosUpgradePoints arms each upgrade.* fault point in turn and drives
+// a full versioned upgrade (prepare, cutover to v2, commit) against a
+// journaled controller. Exactly one step must fail cleanly with the
+// injected cause, the switch must be left on a single consistent version,
+// resuming from the failed step after disarm must complete the upgrade, and
+// crash-recovery must replay to the committed v2 image.
+func TestChaosUpgradePoints(t *testing.T) {
+	var upgradePoints []string
+	for _, name := range faults.Points() {
+		if strings.HasPrefix(name, "upgrade.") {
+			upgradePoints = append(upgradePoints, name)
+		}
+	}
+	if len(upgradePoints) < 3 {
+		t.Fatalf("registry has %d upgrade points, want at least 3: %v", len(upgradePoints), upgradePoints)
+	}
+	for _, name := range upgradePoints {
+		t.Run(name, func(t *testing.T) {
+			defer faults.DisarmAll()
+			pt, ok := faults.Lookup(name)
+			if !ok {
+				t.Fatalf("point %s vanished", name)
+			}
+
+			dir := t.TempDir()
+			ct := recoverController(t, dir)
+			if _, err := ct.Deploy(chaosSrcA); err != nil {
+				t.Fatalf("pre-upgrade deploy: %v", err)
+			}
+			if err := ct.WriteMemory("chaosa", "amem", 3, 77); err != nil {
+				t.Fatal(err)
+			}
+			baseProgs, baseUtil := digest(ct)
+
+			steps := []struct {
+				name string
+				run  func() error
+			}{
+				{"prepare", func() error { _, err := ct.UpgradePrepare("chaosa", chaosSrcAv2); return err }},
+				{"cutover", func() error { _, err := ct.UpgradeCutover("chaosa", 2); return err }},
+				{"commit", func() error { _, err := ct.UpgradeCommit("chaosa"); return err }},
+			}
+			pt.FailNth(1, nil)
+			failedAt := -1
+			for i, st := range steps {
+				if err := st.run(); err != nil {
+					if !strings.Contains(err.Error(), "injected failure") {
+						t.Fatalf("step %s: error lost the injected cause: %v", st.name, err)
+					}
+					failedAt = i
+					break
+				}
+			}
+			if failedAt < 0 {
+				t.Fatal("upgrade under fault reported success at every step")
+			}
+
+			// Invariant: the failure leaves one consistent version serving.
+			switch steps[failedAt].name {
+			case "prepare":
+				// The unwind must restore the pre-upgrade image exactly.
+				progs, util := digest(ct)
+				if !reflect.DeepEqual(progs, baseProgs) {
+					t.Fatalf("failed prepare changed programs:\n got %+v\nwant %+v", progs, baseProgs)
+				}
+				if !reflect.DeepEqual(util, baseUtil) {
+					t.Fatalf("failed prepare leaked resources:\n got %v\nwant %v", util, baseUtil)
+				}
+			case "cutover":
+				st, err := ct.UpgradeStatus("chaosa")
+				if err != nil || st.ActiveVersion != 1 {
+					t.Fatalf("failed cutover left active version %d, %v; want 1", st.ActiveVersion, err)
+				}
+			case "commit":
+				st, err := ct.UpgradeStatus("chaosa")
+				if err != nil || st.ActiveVersion != 2 {
+					t.Fatalf("failed commit left active version %d, %v; want 2", st.ActiveVersion, err)
+				}
+			}
+
+			// Invariant: the fault is transient — resume from the failed step.
+			faults.DisarmAll()
+			for _, st := range steps[failedAt:] {
+				if err := st.run(); err != nil {
+					t.Fatalf("step %s after disarm: %v", st.name, err)
+				}
+			}
+			st, err := ct.UpgradeStatus("chaosa")
+			if err != nil || st.State != "committed" {
+				t.Fatalf("upgrade status after resume = %+v, %v; want committed", st, err)
+			}
+			if v, err := ct.ReadMemory("chaosa", "amem", 3); err != nil || v != 77 {
+				t.Fatalf("migrated memory word = %d, %v; want 77", v, err)
+			}
+
+			// Invariant: crash and recover to the committed v2 image.
+			liveProgs, liveUtil := digest(ct)
+			rec := recoverController(t, dir)
+			recProgs, recUtil := digest(rec)
+			if !reflect.DeepEqual(recProgs, liveProgs) {
+				t.Fatalf("recovered programs diverge:\n got %+v\nwant %+v", recProgs, liveProgs)
+			}
+			if !reflect.DeepEqual(recUtil, liveUtil) {
+				t.Fatalf("recovered utilization diverges:\n got %v\nwant %v", recUtil, liveUtil)
+			}
+			if v, err := rec.ReadMemory("chaosa", "amem", 3); err != nil || v != 77 {
 				t.Fatalf("recovered memory word = %d, %v; want 77", v, err)
 			}
 		})

@@ -4,6 +4,8 @@ import (
 	"time"
 
 	"p4runpro/internal/controlplane"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/upgrade"
 	"p4runpro/internal/wire"
 )
 
@@ -34,6 +36,20 @@ type TelemetryBackend interface {
 }
 
 var _ TelemetryBackend = (*wire.Client)(nil)
+
+// UpgradeBackend is the optional versioned-upgrade surface of a member.
+// Like TelemetryBackend it is checked by type assertion: Fleet.Upgrade
+// treats a member without it as unreachable for the rollout (pinned to v1)
+// rather than failing the whole fleet operation.
+type UpgradeBackend interface {
+	UpgradeStart(program, source string) (wire.UpgradeStatusResult, error)
+	UpgradeCutover(program string, version int) (wire.UpgradeStatusResult, error)
+	UpgradeCommit(program string) (wire.UpgradeStatusResult, error)
+	UpgradeAbort(program string) (wire.UpgradeStatusResult, error)
+	UpgradeStatus(program string) (wire.UpgradeStatusResult, error)
+}
+
+var _ UpgradeBackend = (*wire.Client)(nil)
 
 // TelemetrySource is what LocalBackend needs from a sweep engine — the
 // telemetry.Engine's Result method — declared locally so fleet does not
@@ -129,6 +145,66 @@ func (l *LocalBackend) TelemetryPrograms() (wire.TelemetryProgramsResult, error)
 	}
 	return l.Tel.Result(), nil
 }
+
+// upgradeResult converts a local session status to the wire DTO, stamping
+// in the controller's switch-wide packet/drop counters.
+func (l *LocalBackend) upgradeResult(st upgrade.Status) wire.UpgradeStatusResult {
+	m := l.CT.SW.Metrics()
+	return wire.UpgradeStatusResult{
+		Program: st.Program, V2Name: st.V2Name, State: st.State,
+		ActiveVersion: st.ActiveVersion, V1PID: st.V1PID, V2PID: st.V2PID,
+		V1Packets: st.V1Packets, V2Packets: st.V2Packets,
+		MigratedWords: st.MigratedWords, CutoverNs: st.CutoverNs,
+		SwitchPackets: m.Packets, SwitchDrops: m.Verdicts[rmt.VerdictDropped],
+	}
+}
+
+// UpgradeStart prepares a local versioned upgrade.
+func (l *LocalBackend) UpgradeStart(program, source string) (wire.UpgradeStatusResult, error) {
+	st, err := l.CT.UpgradePrepare(program, source)
+	if err != nil {
+		return wire.UpgradeStatusResult{}, err
+	}
+	return l.upgradeResult(st), nil
+}
+
+// UpgradeCutover flips the local version gate.
+func (l *LocalBackend) UpgradeCutover(program string, version int) (wire.UpgradeStatusResult, error) {
+	st, err := l.CT.UpgradeCutover(program, version)
+	if err != nil {
+		return wire.UpgradeStatusResult{}, err
+	}
+	return l.upgradeResult(st), nil
+}
+
+// UpgradeCommit commits a local upgrade.
+func (l *LocalBackend) UpgradeCommit(program string) (wire.UpgradeStatusResult, error) {
+	st, err := l.CT.UpgradeCommit(program)
+	if err != nil {
+		return wire.UpgradeStatusResult{}, err
+	}
+	return l.upgradeResult(st), nil
+}
+
+// UpgradeAbort rolls a local upgrade back to v1.
+func (l *LocalBackend) UpgradeAbort(program string) (wire.UpgradeStatusResult, error) {
+	st, err := l.CT.UpgradeAbort(program)
+	if err != nil {
+		return wire.UpgradeStatusResult{}, err
+	}
+	return l.upgradeResult(st), nil
+}
+
+// UpgradeStatus snapshots a local upgrade session.
+func (l *LocalBackend) UpgradeStatus(program string) (wire.UpgradeStatusResult, error) {
+	st, err := l.CT.UpgradeStatus(program)
+	if err != nil {
+		return wire.UpgradeStatusResult{}, err
+	}
+	return l.upgradeResult(st), nil
+}
+
+var _ UpgradeBackend = (*LocalBackend)(nil)
 
 // DialMember connects to a member daemon with the client tuning the fleet
 // wants: bounded per-call deadlines (a hung member must not stall probes

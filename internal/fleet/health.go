@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"errors"
+	"math/rand"
 	"time"
 
 	"p4runpro/internal/wire"
@@ -144,9 +145,11 @@ func (f *Fleet) noteSuccess(m *member, util []wire.UtilizationRow) {
 // noteFailure records a failed interaction (probe or fan-out call) and
 // advances the state machine: healthy → suspect on the first failure,
 // suspect → down at the DownAfter threshold. Failing members are
-// re-probed on an exponential backoff starting at half the probe
-// interval, capped at ProbeBackoffMax. A down transition kicks an
-// immediate reconcile pass — that is the failover trigger.
+// re-probed on a jittered exponential backoff starting at half the probe
+// interval, capped at ProbeBackoffMax — the jitter (half the deterministic
+// delay plus a random half) de-synchronizes re-probes when many members
+// fail together, e.g. after a shared network partition. A down transition
+// kicks an immediate reconcile pass — that is the failover trigger.
 func (f *Fleet) noteFailure(m *member, err error) {
 	f.mu.Lock()
 	m.consecFails++
@@ -158,6 +161,9 @@ func (f *Fleet) noteFailure(m *member, err error) {
 	}
 	if backoff > f.opt.ProbeBackoffMax {
 		backoff = f.opt.ProbeBackoffMax
+	}
+	if backoff > 1 {
+		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 	}
 	m.nextProbe = m.lastProbe.Add(backoff)
 	wentDown := false

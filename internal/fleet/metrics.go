@@ -17,8 +17,12 @@ type fleetMetrics struct {
 	cReconcileAdoptions    *obs.Counter
 	cDeployOK, cDeployErr  *obs.Counter
 	cRevokeOK, cRevokeErr  *obs.Counter
+	cUpgStarted            *obs.Counter
+	cUpgCommitted          *obs.Counter
+	cUpgRolledBack         *obs.Counter
 	hPlacementNs           *obs.Histogram
 	hProbeNs, hReconcileNs *obs.Histogram
+	hUpgCutoverNs          *obs.Histogram
 }
 
 func (f *Fleet) initMetrics() {
@@ -40,6 +44,14 @@ func (f *Fleet) initMetrics() {
 	f.m.cDeployErr = reg.Counter("p4runpro_fleet_deploys_total", "Fleet deploy calls by outcome.", obs.L("outcome", "error"))
 	f.m.cRevokeOK = reg.Counter("p4runpro_fleet_revokes_total", "Fleet revoke calls by outcome.", obs.L("outcome", "ok"))
 	f.m.cRevokeErr = reg.Counter("p4runpro_fleet_revokes_total", "Fleet revoke calls by outcome.", obs.L("outcome", "error"))
+	f.m.cUpgStarted = reg.Counter("p4runpro_fleet_upgrades_started_total",
+		"Rolling upgrades started (v2 prepared on the unit's members).")
+	f.m.cUpgCommitted = reg.Counter("p4runpro_fleet_upgrades_committed_total",
+		"Rolling upgrades that committed v2 on at least one member.")
+	f.m.cUpgRolledBack = reg.Counter("p4runpro_fleet_upgrades_rolled_back_total",
+		"Rolling upgrades rolled back to v1 (health-gate regression or no member committed).")
+	f.m.hUpgCutoverNs = reg.Histogram("p4runpro_fleet_upgrade_cutover_ns",
+		"Per-member epoch-publication latency during rolling upgrades, in nanoseconds.")
 	f.m.hPlacementNs = reg.Histogram("p4runpro_fleet_placement_duration_ns",
 		"Fleet deploy latency (footprint estimate through member installs) in nanoseconds.")
 	f.m.hProbeNs = reg.Histogram("p4runpro_fleet_probe_duration_ns", "Health probe latency in nanoseconds.")

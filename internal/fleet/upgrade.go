@@ -1,0 +1,290 @@
+// Health-gated rolling upgrades. Fleet.Upgrade drives one deployment
+// unit's members through the per-switch versioned-upgrade state machine
+// (internal/upgrade, reached through the UpgradeBackend surface): every
+// member prepares v2 next to its running v1, canaries cut over first and
+// soak under live traffic, and the remaining members follow in bounded
+// waves only while the health gates hold. A gate regression rolls every
+// member back to v1; a member that cannot be reached stays pinned to v1
+// and is caught up by reconciliation once the unit's desired source has
+// advanced to v2.
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"p4runpro/internal/wire"
+)
+
+// UpgradeOptions tunes a rolling upgrade. The zero value is usable: one
+// canary, waves of one, a 250ms soak, no drop-rate or traffic-floor gate,
+// three tries per member RPC.
+type UpgradeOptions struct {
+	// Canaries is the size of the first cutover wave; StageSize bounds
+	// each later wave.
+	Canaries  int
+	StageSize int
+	// Soak is how long each wave carries v2 traffic before its health
+	// window is judged.
+	Soak time.Duration
+	// MaxDropRate caps the fraction of switch packets dropped during a
+	// member's soak window (0 disables the gate); MinV2PPS is the minimum
+	// v2 packet rate the gate must observe (0 disables — an idle member
+	// then passes vacuously).
+	MaxDropRate float64
+	MinV2PPS    float64
+	// Retries and RetryBackoff govern each member-level upgrade RPC; a
+	// member still failing after Retries tries is pinned to v1, not fatal.
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+func (o UpgradeOptions) withDefaults() UpgradeOptions {
+	if o.Canaries <= 0 {
+		o.Canaries = 1
+	}
+	if o.StageSize <= 0 {
+		o.StageSize = 1
+	}
+	if o.Soak <= 0 {
+		o.Soak = 250 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	return o
+}
+
+// upgradeMember is one member's rollout-local record.
+type upgradeMember struct {
+	m        *member
+	ub       UpgradeBackend
+	prepared bool
+	cutover  bool
+	before   wire.UpgradeStatusResult // health-window baseline sample
+	beforeAt time.Time
+}
+
+// retryUpgradeCall runs one member-level upgrade RPC with bounded retries.
+func retryUpgradeCall(opt UpgradeOptions, call func() (wire.UpgradeStatusResult, error)) (wire.UpgradeStatusResult, error) {
+	var st wire.UpgradeStatusResult
+	var err error
+	for i := 0; i < opt.Retries; i++ {
+		if i > 0 {
+			time.Sleep(opt.RetryBackoff)
+		}
+		if st, err = call(); err == nil {
+			return st, nil
+		}
+	}
+	return st, err
+}
+
+// Upgrade rolls the deployment unit containing name (a program name or
+// unit key) to the v2 source, member by member, gated on health. It holds
+// the fleet's intent lock for the whole rollout, so reconciliation and
+// other intent mutations wait until the upgrade commits or rolls back.
+//
+// The returned result is total: every member of the unit is either
+// committed to v2, pinned to v1 (unreachable or repeatedly failing — the
+// unit's desired source still advances, so reconciliation converges it
+// later), or rolled back to v1 together with the rest when a health gate
+// failed.
+func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgradeResult, error) {
+	opt = opt.withDefaults()
+	f.intentMu.Lock()
+	defer f.intentMu.Unlock()
+
+	u, ok := f.store.Resolve(name)
+	if !ok {
+		return wire.FleetUpgradeResult{}, fmt.Errorf("fleet: no unit for %q", name)
+	}
+	program := name
+	if program == u.Key && len(u.Programs) == 1 {
+		program = u.Programs[0]
+	}
+	found := false
+	for _, p := range u.Programs {
+		if p == program {
+			found = true
+		}
+	}
+	if !found {
+		return wire.FleetUpgradeResult{}, fmt.Errorf("fleet: %q does not name a single program of unit %q", name, u.Key)
+	}
+
+	f.m.cUpgStarted.Inc()
+	res := wire.FleetUpgradeResult{Unit: u.Key}
+	pin := func(mn string) { res.Pinned = append(res.Pinned, mn) }
+
+	// Phase 1: prepare v2 on every reachable member. Prepare is invisible
+	// to traffic (the gate starts pinned to v1), so a failure here only
+	// pins that member.
+	var rollout []*upgradeMember
+	for _, mn := range u.Members {
+		m, ok := f.member(mn)
+		if !ok || f.stateOf(m) == Down {
+			pin(mn)
+			continue
+		}
+		ub, ok := m.b.(UpgradeBackend)
+		if !ok {
+			pin(mn)
+			continue
+		}
+		if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+			return ub.UpgradeStart(program, v2src)
+		}); err != nil {
+			f.log.Errorf("fleet: upgrade prepare %s on %s: %v", program, mn, err)
+			f.noteFailure(m, err)
+			pin(mn)
+			continue
+		}
+		rollout = append(rollout, &upgradeMember{m: m, ub: ub, prepared: true})
+	}
+	if len(rollout) == 0 {
+		f.m.cUpgRolledBack.Inc()
+		return res, fmt.Errorf("fleet: no member of %q accepted the v2 prepare", u.Key)
+	}
+
+	rollbackAll := func(reason string) wire.FleetUpgradeResult {
+		for _, um := range rollout {
+			if um.cutover {
+				if _, err := um.ub.UpgradeCutover(program, 1); err != nil {
+					f.log.Errorf("fleet: rollback cutover %s on %s: %v", program, um.m.name, err)
+				}
+			}
+			if _, err := um.ub.UpgradeAbort(program); err != nil {
+				f.log.Errorf("fleet: rollback abort %s on %s: %v", program, um.m.name, err)
+			}
+		}
+		f.m.cUpgRolledBack.Inc()
+		f.log.Errorf("fleet: upgrade of %s rolled back: %s", u.Key, reason)
+		res.RolledBack = true
+		res.Reason = reason
+		res.Committed = nil
+		return res
+	}
+
+	// Phase 2: cut waves over — canaries first, then StageSize at a time —
+	// soaking each wave under traffic and judging its health window before
+	// the next wave starts.
+	for start := 0; start < len(rollout); {
+		size := opt.StageSize
+		if start == 0 {
+			size = opt.Canaries
+		}
+		if start+size > len(rollout) {
+			size = len(rollout) - start
+		}
+		wave := rollout[start : start+size]
+		res.Waves++
+
+		live := wave[:0]
+		for _, um := range wave {
+			st, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+				return um.ub.UpgradeCutover(program, 2)
+			})
+			if err != nil {
+				// The member may or may not have flipped; force it back to
+				// v1 best-effort and pin it rather than failing the wave.
+				f.log.Errorf("fleet: cutover %s on %s: %v", program, um.m.name, err)
+				f.noteFailure(um.m, err)
+				um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
+				um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
+				um.prepared = false
+				pin(um.m.name)
+				continue
+			}
+			f.m.hUpgCutoverNs.Observe(uint64(st.CutoverNs))
+			um.cutover = true
+			um.before = st
+			um.beforeAt = time.Now()
+			live = append(live, um)
+		}
+		kept := make([]*upgradeMember, 0, len(rollout))
+		kept = append(kept, rollout[:start]...)
+		kept = append(kept, live...)
+		kept = append(kept, rollout[start+size:]...)
+		rollout = kept
+		if len(live) == 0 {
+			continue
+		}
+
+		time.Sleep(opt.Soak)
+		for _, um := range live {
+			after, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+				return um.ub.UpgradeStatus(program)
+			})
+			if err != nil {
+				return rollbackAll(fmt.Sprintf("health sample on %s failed: %v", um.m.name, err)), nil
+			}
+			if reason := judgeHealth(opt, um, after); reason != "" {
+				return rollbackAll(fmt.Sprintf("%s on %s", reason, um.m.name)), nil
+			}
+		}
+		start += len(live)
+	}
+
+	// Phase 3: every wave held — commit. A member whose commit fails is
+	// rolled back individually and pinned; the rest proceed.
+	for _, um := range rollout {
+		if !um.cutover {
+			continue
+		}
+		if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+			return um.ub.UpgradeCommit(program)
+		}); err != nil {
+			f.log.Errorf("fleet: commit %s on %s: %v", program, um.m.name, err)
+			um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
+			um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
+			pin(um.m.name)
+			continue
+		}
+		res.Committed = append(res.Committed, um.m.name)
+	}
+	if len(res.Committed) == 0 {
+		f.m.cUpgRolledBack.Inc()
+		return res, fmt.Errorf("fleet: no member of %q committed v2", u.Key)
+	}
+
+	// Advance the unit's desired source so future failovers, top-ups, and
+	// re-deploys of pinned members place v2.
+	u.Source = v2src
+	if err := f.store.Put(u); err != nil {
+		return res, fmt.Errorf("fleet: record v2 source: %w", err)
+	}
+	f.m.cUpgCommitted.Inc()
+	f.log.Infof("fleet: upgraded %s on %v in %d waves (%d pinned)",
+		u.Key, res.Committed, res.Waves, len(res.Pinned))
+	return res, nil
+}
+
+// judgeHealth evaluates one member's soak window against the gates and
+// returns a rollback reason, or "" when healthy.
+func judgeHealth(opt UpgradeOptions, um *upgradeMember, after wire.UpgradeStatusResult) string {
+	if after.ActiveVersion != 2 {
+		return "member fell back to v1 during soak"
+	}
+	elapsed := time.Since(um.beforeAt).Seconds()
+	if opt.MinV2PPS > 0 && elapsed > 0 {
+		pps := float64(after.V2Packets-um.before.V2Packets) / elapsed
+		if pps < opt.MinV2PPS {
+			return fmt.Sprintf("v2 traffic %.1f pps below floor %.1f", pps, opt.MinV2PPS)
+		}
+	}
+	if opt.MaxDropRate > 0 {
+		pkts := after.SwitchPackets - um.before.SwitchPackets
+		drops := after.SwitchDrops - um.before.SwitchDrops
+		if pkts > 0 {
+			rate := float64(drops) / float64(pkts)
+			if rate > opt.MaxDropRate {
+				return fmt.Sprintf("drop rate %.3f above gate %.3f", rate, opt.MaxDropRate)
+			}
+		}
+	}
+	return ""
+}

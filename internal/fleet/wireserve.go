@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"log"
+	"time"
 
 	"p4runpro/internal/wire"
 )
@@ -36,6 +37,18 @@ func RegisterWire(s *wire.Server, f *Fleet) {
 	})
 	s.Handle(wire.MethodFleetTop, func(json.RawMessage) (any, error) {
 		return f.Top(), nil
+	})
+	s.Handle(wire.MethodFleetUpgrade, func(params json.RawMessage) (any, error) {
+		var p wire.FleetUpgradeParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return f.Upgrade(p.Name, p.Source, UpgradeOptions{
+			Canaries: p.Canaries, StageSize: p.StageSize,
+			Soak:        time.Duration(p.SoakMs) * time.Millisecond,
+			MaxDropRate: p.MaxDropRate, MinV2PPS: p.MinV2PPS,
+			Retries: p.Retries, RetryBackoff: time.Duration(p.RetryBackoffMs) * time.Millisecond,
+		})
 	})
 	s.Handle(wire.MethodFleetMemRead, func(params json.RawMessage) (any, error) {
 		var p wire.FleetMemReadParams

@@ -58,6 +58,10 @@ const (
 	OpRemoveCase
 	OpMemWrite
 	OpMcastSet
+	OpUpgradePrepare
+	OpUpgradeCutover
+	OpUpgradeCommit
+	OpUpgradeAbort
 	opMax
 )
 
@@ -76,6 +80,14 @@ func (o Op) String() string {
 		return "mem.write"
 	case OpMcastSet:
 		return "mcast.set"
+	case OpUpgradePrepare:
+		return "upgrade.prepare"
+	case OpUpgradeCutover:
+		return "upgrade.cutover"
+	case OpUpgradeCommit:
+		return "upgrade.commit"
+	case OpUpgradeAbort:
+		return "upgrade.abort"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -85,12 +97,12 @@ func (o Op) String() string {
 type Record struct {
 	Op Op `json:"op"`
 
-	Source      string `json:"source,omitempty"`       // deploy, case.add
-	Name        string `json:"name,omitempty"`         // revoke
+	Source      string `json:"source,omitempty"`       // deploy, case.add, upgrade.prepare (v2 source)
+	Name        string `json:"name,omitempty"`         // revoke, upgrade.* (program under upgrade)
 	Program     string `json:"program,omitempty"`      // case.*, mem.write
 	Mem         string `json:"mem,omitempty"`          // mem.write
 	Addr        uint32 `json:"addr,omitempty"`         // mem.write
-	Value       uint32 `json:"value,omitempty"`        // mem.write
+	Value       uint32 `json:"value,omitempty"`        // mem.write, upgrade.cutover (target version)
 	BranchDepth int    `json:"branch_depth,omitempty"` // case.add
 	BranchID    int    `json:"branch_id,omitempty"`    // case.remove
 	Group       int    `json:"group,omitempty"`        // mcast.set

@@ -425,6 +425,25 @@ func (m *Manager) Programs() []string {
 	return out
 }
 
+// Rename re-keys a linked program's allocation — the commit step of a
+// versioned upgrade, where the surviving version takes over the
+// operator-visible name. It fails if old is unknown or new is taken.
+func (m *Manager) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	alloc, ok := m.programs[oldName]
+	if !ok {
+		return fmt.Errorf("resource: program %q not linked", oldName)
+	}
+	if _, dup := m.programs[newName]; dup {
+		return fmt.Errorf("resource: program %q already linked", newName)
+	}
+	delete(m.programs, oldName)
+	alloc.Name = newName
+	m.programs[newName] = alloc
+	return nil
+}
+
 // Translate maps a program's virtual memory address to its physical RPB and
 // word offset — the control-plane side of the paper's address translation.
 func (m *Manager) Translate(program, mem string, vaddr uint32) (RPBID, uint32, error) {

@@ -347,6 +347,58 @@ func (t *Table) DeleteOwned(owner string) int {
 	return n
 }
 
+// Reown transfers every entry installed under oldOwner to newOwner. Owner
+// is read lock-free on the packet path (postcards, OwnerHits), so entries
+// are replaced copy-on-write rather than mutated in place: each moved entry
+// is a fresh Entry with the same ID, keys, priority, action, and parameters,
+// seeded with the old entry's hit count at the moment of the swap. Hits
+// landing on the retiring entry between that read and the snapshot
+// publication are lost — the same bounded in-flight tolerance as any
+// published-snapshot mutation. Returns the number of entries moved.
+func (t *Table) Reown(oldOwner, newOwner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.state.Load()
+	n := 0
+	reown := func(list []*Entry) []*Entry {
+		touched := false
+		for _, e := range list {
+			if e.Owner == oldOwner {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			return list
+		}
+		out := make([]*Entry, len(list))
+		for i, e := range list {
+			if e.Owner != oldOwner {
+				out[i] = e
+				continue
+			}
+			out[i] = &Entry{
+				ID: e.ID, Keys: e.Keys, Priority: e.Priority,
+				Action: e.Action, Params: e.Params, Owner: newOwner,
+				hits: e.Hits(),
+			}
+			n++
+		}
+		return out
+	}
+	ns := cur.clone()
+	for k, b := range cur.buckets {
+		ns.buckets[k] = reown(b)
+	}
+	ns.wildcard = reown(cur.wildcard)
+	if n == 0 {
+		return 0
+	}
+	t.state.Store(ns)
+	t.notify()
+	return n
+}
+
 // Apply performs one match-action lookup for the packet. It returns whether
 // an entry (or the default action) was executed. The match resolves against
 // one immutable snapshot, so concurrent Insert/Delete can never expose a

@@ -294,6 +294,51 @@ func (c *Client) Snapshot() (SnapshotResult, error) {
 	return out, err
 }
 
+// UpgradeStart links program's v2 source alongside the running v1 on the
+// remote switch and installs the version gate (still serving v1).
+func (c *Client) UpgradeStart(program, source string) (UpgradeStatusResult, error) {
+	var out UpgradeStatusResult
+	err := c.call(MethodUpgradeStart, UpgradeStartParams{Program: program, Source: source}, &out)
+	return out, err
+}
+
+// UpgradeCutover atomically flips which version new packets run (1 or 2).
+func (c *Client) UpgradeCutover(program string, version int) (UpgradeStatusResult, error) {
+	var out UpgradeStatusResult
+	err := c.call(MethodUpgradeCutover, UpgradeCutoverParams{Program: program, Version: version}, &out)
+	return out, err
+}
+
+// UpgradeCommit finishes a cut-over upgrade: v2 takes the program name, v1
+// is retired.
+func (c *Client) UpgradeCommit(program string) (UpgradeStatusResult, error) {
+	var out UpgradeStatusResult
+	err := c.call(MethodUpgradeCommit, UpgradeNameParams{Program: program}, &out)
+	return out, err
+}
+
+// UpgradeAbort rolls an in-flight upgrade back to pure v1.
+func (c *Client) UpgradeAbort(program string) (UpgradeStatusResult, error) {
+	var out UpgradeStatusResult
+	err := c.call(MethodUpgradeAbort, UpgradeNameParams{Program: program}, &out)
+	return out, err
+}
+
+// UpgradeStatus snapshots a remote upgrade session plus the switch-wide
+// packet/drop counters health gating samples.
+func (c *Client) UpgradeStatus(program string) (UpgradeStatusResult, error) {
+	var out UpgradeStatusResult
+	err := c.call(MethodUpgradeStatus, UpgradeNameParams{Program: program}, &out)
+	return out, err
+}
+
+// FleetUpgrade runs a health-gated rolling upgrade on a fleet daemon.
+func (c *Client) FleetUpgrade(p FleetUpgradeParams) (FleetUpgradeResult, error) {
+	var out FleetUpgradeResult
+	err := c.call(MethodFleetUpgrade, p, &out)
+	return out, err
+}
+
 // FleetDeploy places source on a fleet daemon with the given replica count
 // (0 uses the fleet default).
 func (c *Client) FleetDeploy(source string, replicas int) ([]FleetDeployResult, error) {

@@ -59,6 +59,57 @@ const (
 	MethodSnapshot    = "snapshot"
 )
 
+// Versioned-upgrade method names (single-switch daemon). start links v2
+// alongside v1 and installs the version gate; cutover atomically flips
+// which version new packets run; commit retires v1; abort rolls back to
+// pure v1. status is read-only and also carries switch-wide packet/drop
+// totals so a fleet driver can compute health windows from deltas.
+const (
+	MethodUpgradeStart   = "upgrade.start"
+	MethodUpgradeCutover = "upgrade.cutover"
+	MethodUpgradeCommit  = "upgrade.commit"
+	MethodUpgradeAbort   = "upgrade.abort"
+	MethodUpgradeStatus  = "upgrade.status"
+)
+
+// UpgradeStartParams carries the program to upgrade and its v2 source (a
+// single program with the same name).
+type UpgradeStartParams struct {
+	Program string `json:"program"`
+	Source  string `json:"source"`
+}
+
+// UpgradeCutoverParams selects which version new packets run (1 or 2).
+type UpgradeCutoverParams struct {
+	Program string `json:"program"`
+	Version int    `json:"version"`
+}
+
+// UpgradeNameParams names an in-flight upgrade (commit/abort/status).
+type UpgradeNameParams struct {
+	Program string `json:"program"`
+}
+
+// UpgradeStatusResult snapshots one upgrade session plus the switch-wide
+// traffic counters health gating samples.
+type UpgradeStatusResult struct {
+	Program       string `json:"program"`
+	V2Name        string `json:"v2_name"`
+	State         string `json:"state"` // prepared | cutover | committed | aborted
+	ActiveVersion int    `json:"active_version"`
+	V1PID         uint16 `json:"v1_pid"`
+	V2PID         uint16 `json:"v2_pid"`
+	V1Packets     uint64 `json:"v1_packets"`
+	V2Packets     uint64 `json:"v2_packets"`
+	MigratedWords uint32 `json:"migrated_words"`
+	CutoverNs     int64  `json:"cutover_ns"`
+	// SwitchPackets/SwitchDrops are the member's cumulative injected and
+	// dropped packet counts at sample time; the fleet's health gate turns
+	// two samples into a windowed drop rate.
+	SwitchPackets uint64 `json:"switch_packets"`
+	SwitchDrops   uint64 `json:"switch_drops"`
+}
+
 // SnapshotResult reports a committed journal snapshot + compaction cycle.
 type SnapshotResult struct {
 	WalDir       string `json:"wal_dir"`
@@ -76,7 +127,46 @@ const (
 	MethodFleetMembers     = "fleet.members"
 	MethodFleetUtilization = "fleet.utilization"
 	MethodFleetMemRead     = "fleet.memread"
+	MethodFleetUpgrade     = "fleet.upgrade"
 )
+
+// FleetUpgradeParams drives a health-gated rolling upgrade of one
+// deployment unit: canaries cut over first, soak under traffic, and the
+// remaining members follow in stages only while the health gates hold.
+// Durations are milliseconds so the DTO stays integer-typed on the wire.
+type FleetUpgradeParams struct {
+	Name   string `json:"name"`   // program or unit key
+	Source string `json:"source"` // v2 source
+	// Canaries (default 1) cut over first; StageSize (default 1) bounds
+	// each later wave.
+	Canaries  int `json:"canaries,omitempty"`
+	StageSize int `json:"stage_size,omitempty"`
+	// SoakMs is how long each wave carries traffic before its health
+	// window is judged.
+	SoakMs int64 `json:"soak_ms,omitempty"`
+	// MaxDropRate (fraction of switch packets dropped during the soak
+	// window) and MinV2PPS (v2 packets/sec the gate must observe) are the
+	// health gates; zero MaxDropRate means "no worse than 100%", i.e.
+	// disabled, and zero MinV2PPS disables the traffic floor.
+	MaxDropRate float64 `json:"max_drop_rate,omitempty"`
+	MinV2PPS    float64 `json:"min_v2_pps,omitempty"`
+	// Retries/RetryBackoffMs govern per-member retry of upgrade RPCs.
+	Retries        int   `json:"retries,omitempty"`
+	RetryBackoffMs int64 `json:"retry_backoff_ms,omitempty"`
+}
+
+// FleetUpgradeResult reports a finished rollout: every member either
+// committed to v2, stayed pinned to v1 (unreachable — reconciliation
+// re-deploys it from the updated unit source later), or — when RolledBack —
+// was rolled back to v1 because a health gate failed.
+type FleetUpgradeResult struct {
+	Unit       string   `json:"unit"`
+	Committed  []string `json:"committed,omitempty"`
+	Pinned     []string `json:"pinned,omitempty"`
+	RolledBack bool     `json:"rolled_back,omitempty"`
+	Reason     string   `json:"reason,omitempty"` // rollback cause
+	Waves      int      `json:"waves"`            // cutover waves executed (incl. canary)
+}
 
 // FleetDeployParams carries source text plus the desired replica count
 // (0 means the fleet's default policy decides).

@@ -15,6 +15,8 @@ import (
 	"p4runpro/internal/faults"
 	"p4runpro/internal/obs"
 	"p4runpro/internal/pkt"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/upgrade"
 )
 
 // Fault-injection points (see internal/faults): chaos tests arm these to
@@ -304,7 +306,8 @@ func (s *Server) dispatch(req Request) (any, error) {
 	if s.ct == nil {
 		switch req.Method {
 		case MethodDeploy, MethodRevoke, MethodPrograms, MethodMemRead, MethodMemWrite,
-			MethodUtilization, MethodInject, MethodStatus, MethodAddCases, MethodRemoveCase, MethodMcastSet, MethodSnapshot:
+			MethodUtilization, MethodInject, MethodStatus, MethodAddCases, MethodRemoveCase, MethodMcastSet, MethodSnapshot,
+			MethodUpgradeStart, MethodUpgradeCutover, MethodUpgradeCommit, MethodUpgradeAbort, MethodUpgradeStatus:
 			return nil, fmt.Errorf("method %q needs a single-switch daemon (this one serves a fleet; use the fleet.* verbs)", req.Method)
 		}
 		return nil, fmt.Errorf("unknown method %q", req.Method)
@@ -440,8 +443,76 @@ func (s *Server) dispatch(req Request) (any, error) {
 		}
 		j := s.ct.Journal()
 		return SnapshotResult{WalDir: j.Dir(), SegmentBytes: j.SegmentBytes()}, nil
+
+	case MethodUpgradeStart:
+		var p UpgradeStartParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		st, err := s.ct.UpgradePrepare(p.Program, p.Source)
+		if err != nil {
+			return nil, err
+		}
+		return s.upgradeStatusResult(st), nil
+
+	case MethodUpgradeCutover:
+		var p UpgradeCutoverParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		st, err := s.ct.UpgradeCutover(p.Program, p.Version)
+		if err != nil {
+			return nil, err
+		}
+		return s.upgradeStatusResult(st), nil
+
+	case MethodUpgradeCommit:
+		var p UpgradeNameParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		st, err := s.ct.UpgradeCommit(p.Program)
+		if err != nil {
+			return nil, err
+		}
+		return s.upgradeStatusResult(st), nil
+
+	case MethodUpgradeAbort:
+		var p UpgradeNameParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		st, err := s.ct.UpgradeAbort(p.Program)
+		if err != nil {
+			return nil, err
+		}
+		return s.upgradeStatusResult(st), nil
+
+	case MethodUpgradeStatus:
+		var p UpgradeNameParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, err
+		}
+		st, err := s.ct.UpgradeStatus(p.Program)
+		if err != nil {
+			return nil, err
+		}
+		return s.upgradeStatusResult(st), nil
 	}
 	return nil, fmt.Errorf("unknown method %q", req.Method)
+}
+
+// upgradeStatusResult converts a session status into the wire DTO, stamping
+// in the switch-wide traffic counters the fleet's health gate samples.
+func (s *Server) upgradeStatusResult(st upgrade.Status) UpgradeStatusResult {
+	m := s.ct.SW.Metrics()
+	return UpgradeStatusResult{
+		Program: st.Program, V2Name: st.V2Name, State: st.State,
+		ActiveVersion: st.ActiveVersion, V1PID: st.V1PID, V2PID: st.V2PID,
+		V1Packets: st.V1Packets, V2Packets: st.V2Packets,
+		MigratedWords: st.MigratedWords, CutoverNs: st.CutoverNs,
+		SwitchPackets: m.Packets, SwitchDrops: m.Verdicts[rmt.VerdictDropped],
+	}
 }
 
 // injectable ensures pkt stays linked for the hex path.
