@@ -14,10 +14,12 @@ import (
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
 	"p4runpro/internal/experiments"
+	"p4runpro/internal/journal"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/programs"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/traffic"
+	"p4runpro/internal/wire"
 )
 
 func mustOpen(b *testing.B) *controlplane.Controller {
@@ -703,5 +705,145 @@ func BenchmarkMulticastForward(b *testing.B) {
 		if res := sw.Inject(p, 1); res.Verdict != rmt.VerdictMulticast {
 			b.Fatalf("verdict %v", res.Verdict)
 		}
+	}
+}
+
+// BenchmarkDeployThroughput compares looped Deploy against the batched
+// DeployAll entry point on a journaled controller with SyncAlways: the
+// loop pays one fsync per program, the batch journals the whole set as a
+// single group-committed record. Reported as programs/s.
+func BenchmarkDeployThroughput(b *testing.B) {
+	const batch = 16
+	sources := make([]string, batch)
+	names := make([]string, batch)
+	for i := range sources {
+		names[i] = fmt.Sprintf("thr%d", i)
+		sources[i] = fmt.Sprintf(
+			"program thr%d(<hdr.ipv4.src, 10.%d.%d.0, 0xffffff00>) { FORWARD(2); }",
+			i, 1+i/250, i%250)
+	}
+	for _, mode := range []string{"looped", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			ct, err := controlplane.Recover(b.TempDir(), DefaultConfig(), DefaultOptions(),
+				journal.Options{Sync: journal.SyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ct.Journal().Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "batched" {
+					outs, err := ct.DeployAll(sources, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, oc := range outs {
+						if oc.Err != nil {
+							b.Fatal(oc.Err)
+						}
+					}
+				} else {
+					for _, src := range sources {
+						if _, err := ct.Deploy(src); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				for _, n := range names {
+					if _, err := ct.Revoke(n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "programs/s")
+		})
+	}
+}
+
+// BenchmarkMemWriteBatch compares looped WriteMemory (one journal fsync
+// per bucket under SyncAlways) against WriteMemoryBatch (the whole set
+// validated up front and journaled as one group). Reported as entries/s.
+func BenchmarkMemWriteBatch(b *testing.B) {
+	const words = 512
+	writes := make([]controlplane.MemWrite, words)
+	for i := range writes {
+		writes[i] = controlplane.MemWrite{Addr: uint32(i), Value: uint32(i + 1)}
+	}
+	src := `
+@ bulk 512
+program bulkbench(<hdr.ipv4.src, 10.200.0.0, 0xffff0000>) {
+    LOADI(sar, 1);
+    HASH_5_TUPLE_MEM(bulk);
+    MEMADD(bulk);
+}
+`
+	for _, mode := range []string{"looped", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			ct, err := controlplane.Recover(b.TempDir(), DefaultConfig(), DefaultOptions(),
+				journal.Options{Sync: journal.SyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ct.Journal().Close()
+			if _, err := ct.Deploy(src); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "batched" {
+					if n, err := ct.WriteMemoryBatch("bulkbench", "bulk", writes); err != nil || n != words {
+						b.Fatalf("wrote %d: %v", n, err)
+					}
+				} else {
+					for _, w := range writes {
+						if err := ct.WriteMemory("bulkbench", "bulk", w.Addr, w.Value); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(words*b.N)/b.Elapsed().Seconds(), "entries/s")
+		})
+	}
+}
+
+// BenchmarkPipelineDepth measures wire ops per second as a function of
+// requests in flight per flush: depth 1 is classic request/response
+// lockstep, deeper pipelines amortize the round trip across many ops.
+func BenchmarkPipelineDepth(b *testing.B) {
+	ct := mustOpen(b)
+	srv := wire.NewServer(ct, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			calls := make([]*wire.PendingCall, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := c.Pipeline()
+				for j := 0; j < depth; j++ {
+					calls[j] = p.Call(wire.MethodStatus, nil, nil)
+				}
+				if err := p.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for _, pc := range calls {
+					if pc.Err() != nil {
+						b.Fatal(pc.Err())
+					}
+				}
+			}
+			b.ReportMetric(float64(depth*b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
 	}
 }

@@ -1,0 +1,178 @@
+// Batch entry-points: the controller-side half of the bulk control-plane
+// fast path. DeployAll links N source blobs and WriteMemoryBatch writes N
+// memory buckets under ONE lock acquisition and ONE journal group, so a
+// mass operation pays one fsync instead of N. Batches journal as single
+// records (journal.OpDeployBatch / OpMemWriteBatch) so crash replay
+// re-runs the batch's exact semantics — including an atomic deploy's
+// unwind — rather than replaying per-item records for work that may never
+// have applied.
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p4runpro/internal/journal"
+)
+
+// DeployOutcome is one source blob's result in a DeployAll: either the
+// per-program reports of a linked blob or the error that rejected it.
+type DeployOutcome struct {
+	Reports []DeployReport
+	Err     error
+}
+
+// MemWriteBatchChunk bounds one OpMemWriteBatch record's entry count so
+// the JSON payload stays far under journal.MaxRecord; larger batches
+// journal as several chunk records committed in one group. Exported so
+// crash tests can reason about record boundaries within a group.
+const MemWriteBatchChunk = 1 << 16
+
+// DeployAll links every source blob in sources under a single journal
+// append and a single mutation-lock acquisition, returning one outcome
+// per blob in order. Each blob is individually atomic exactly as in
+// Deploy. With atomic set, the whole batch is: the first blob that fails
+// unwinds every blob this call already linked and DeployAll returns the
+// failure with no outcomes. Without it, every blob is attempted and
+// failures are reported per-blob.
+func (ct *Controller) DeployAll(sources []string, atomic bool) ([]DeployOutcome, error) {
+	if len(sources) == 0 {
+		return nil, nil
+	}
+	if ct.jrn == nil {
+		return ct.applyDeployAll(sources, atomic, nil)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	if err := ct.jrn.append(journal.Record{Op: journal.OpDeployBatch, Sources: sources, Atomic: atomic}); err != nil {
+		return nil, err
+	}
+	return ct.applyDeployAll(sources, atomic, ct.jrn)
+}
+
+// applyDeployAll runs the batch; js (nil when unjournaled) receives blob
+// tracking for successful links. Caller holds the journal mutation lock
+// when js is non-nil.
+func (ct *Controller) applyDeployAll(sources []string, atomic bool, js *jstate) ([]DeployOutcome, error) {
+	outcomes := make([]DeployOutcome, 0, len(sources))
+	for i, src := range sources {
+		reports, err := ct.applyDeploy(src)
+		if err != nil && atomic {
+			// Unwind the blobs this batch already linked, newest first, so
+			// the batch is all-or-nothing like a single blob's programs.
+			err = fmt.Errorf("deploy.batch: source %d: %w", i, err)
+			for k := len(outcomes) - 1; k >= 0; k-- {
+				rs := outcomes[k].Reports
+				for p := len(rs) - 1; p >= 0; p-- {
+					if _, rerr := ct.applyRevoke(rs[p].Program); rerr != nil {
+						err = errors.Join(err, fmt.Errorf("unwinding %s: %w", rs[p].Program, rerr))
+					} else if js != nil {
+						js.trackRevoke(rs[p].Program)
+					}
+				}
+			}
+			return nil, err
+		}
+		if err == nil && js != nil {
+			js.trackDeploy(src, reports)
+		}
+		outcomes = append(outcomes, DeployOutcome{Reports: reports, Err: err})
+	}
+	return outcomes, nil
+}
+
+// MemWrite is one (virtual address, value) bucket write of a batch.
+type MemWrite struct {
+	Addr  uint32
+	Value uint32
+}
+
+// pokeTarget is one validated write, resolved to its physical array.
+type pokeTarget struct {
+	arr   memArray
+	paddr uint32
+	value uint32
+}
+
+// memArray is the Poke surface of a physical register array; declared
+// locally so validation can hold resolved arrays without re-asserting.
+type memArray interface {
+	Poke(addr, value uint32) error
+}
+
+// WriteMemoryBatch writes every (addr, value) bucket of one program
+// memory block under a single lock acquisition and a single journal
+// group. It is validate-then-apply: every address is translated first,
+// so a batch with any bad address fails whole before the journal or the
+// data plane sees it; afterwards the writes are journaled (chunked into
+// OpMemWriteBatch records committed as one group) and applied. Returns
+// the number of buckets written.
+func (ct *Controller) WriteMemoryBatch(program, mem string, writes []MemWrite) (n int, err error) {
+	if len(writes) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err) }()
+	if ct.jrn == nil {
+		targets, err := ct.validateWrites(program, mem, writes)
+		if err != nil {
+			return 0, err
+		}
+		return applyWrites(targets)
+	}
+	ct.jrn.mu.Lock()
+	defer ct.jrn.mu.Unlock()
+	// Validate under the mutation lock so a concurrent revoke cannot
+	// invalidate translations between validation and apply.
+	targets, err := ct.validateWrites(program, mem, writes)
+	if err != nil {
+		return 0, err
+	}
+	recs := make([]journal.Record, 0, (len(writes)+MemWriteBatchChunk-1)/MemWriteBatchChunk)
+	for off := 0; off < len(writes); off += MemWriteBatchChunk {
+		end := off + MemWriteBatchChunk
+		if end > len(writes) {
+			end = len(writes)
+		}
+		rec := journal.Record{Op: journal.OpMemWriteBatch, Program: program, Mem: mem,
+			Addrs: make([]uint32, 0, end-off), Vals: make([]uint32, 0, end-off)}
+		for _, w := range writes[off:end] {
+			rec.Addrs = append(rec.Addrs, w.Addr)
+			rec.Vals = append(rec.Vals, w.Value)
+		}
+		recs = append(recs, rec)
+	}
+	if err := ct.jrn.appendBatch(recs); err != nil {
+		return 0, err
+	}
+	return applyWrites(targets)
+}
+
+// validateWrites translates every virtual address and resolves its
+// physical array, failing on the first bad write.
+func (ct *Controller) validateWrites(program, mem string, writes []MemWrite) ([]pokeTarget, error) {
+	targets := make([]pokeTarget, 0, len(writes))
+	for i, w := range writes {
+		rpb, paddr, err := ct.Compiler.Mgr.Translate(program, mem, w.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("mem.writebatch: write %d (addr %d): %w", i, w.Addr, err)
+		}
+		arr, err := ct.Plane.Array(rpb)
+		if err != nil {
+			return nil, fmt.Errorf("mem.writebatch: write %d (addr %d): %w", i, w.Addr, err)
+		}
+		targets = append(targets, pokeTarget{arr: arr, paddr: paddr, value: w.Value})
+	}
+	return targets, nil
+}
+
+// applyWrites pokes every validated target.
+func applyWrites(targets []pokeTarget) (int, error) {
+	for i, t := range targets {
+		if err := t.arr.Poke(t.paddr, t.value); err != nil {
+			return i, fmt.Errorf("mem.writebatch: write %d: %w", i, err)
+		}
+	}
+	return len(targets), nil
+}

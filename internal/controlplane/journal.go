@@ -89,6 +89,15 @@ func (s *jstate) append(rec journal.Record) error {
 	return s.j.Append(rec)
 }
 
+// appendBatch journals several records as one commit group (one fsync)
+// unless the controller is replaying.
+func (s *jstate) appendBatch(recs []journal.Record) error {
+	if s.replaying {
+		return nil
+	}
+	return s.j.AppendBatch(recs)
+}
+
 func (s *jstate) trackDeploy(src string, reports []DeployReport) {
 	b := &blobState{source: src, live: make(map[string]bool, len(reports))}
 	for _, r := range reports {
@@ -218,6 +227,22 @@ func (ct *Controller) applyRecord(rec journal.Record) error {
 		return err
 	case journal.OpUpgradeAbort:
 		_, err := ct.UpgradeAbort(rec.Name)
+		return err
+	case journal.OpDeployBatch:
+		// Replay re-runs the whole batch deterministically, including an
+		// atomic batch's unwind — the journaled record is the batch, not
+		// its per-blob effects.
+		_, err := ct.DeployAll(rec.Sources, rec.Atomic)
+		return err
+	case journal.OpMemWriteBatch:
+		if len(rec.Addrs) != len(rec.Vals) {
+			return fmt.Errorf("controlplane: mem.writebatch record with %d addrs, %d vals", len(rec.Addrs), len(rec.Vals))
+		}
+		writes := make([]MemWrite, len(rec.Addrs))
+		for i := range rec.Addrs {
+			writes[i] = MemWrite{Addr: rec.Addrs[i], Value: rec.Vals[i]}
+		}
+		_, err := ct.WriteMemoryBatch(rec.Program, rec.Mem, writes)
 		return err
 	}
 	return fmt.Errorf("controlplane: unknown journal op %d", rec.Op)

@@ -12,6 +12,8 @@ package faults_test
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -87,13 +89,16 @@ func recoverController(t *testing.T, dir string) *controlplane.Controller {
 // deployed through the wire client.
 func TestChaosEveryPoint(t *testing.T) {
 	// The registry also holds "test.*" fixture points registered by the
-	// faults package's own unit tests (no production code checks those) and
+	// faults package's own unit tests (no production code checks those),
 	// "upgrade.*" points that only fire on the versioned-upgrade path, which
 	// this deploy workload never reaches — TestChaosUpgradePoints covers
-	// them with an upgrade workload.
+	// them with an upgrade workload — and "wire.pipeline.*" client-side
+	// points that only fire on the pipelined-batch path, covered by
+	// TestChaosPipelineFlush.
 	points := make([]string, 0, 5)
 	for _, name := range faults.Points() {
-		if !strings.HasPrefix(name, "test.") && !strings.HasPrefix(name, "upgrade.") {
+		if !strings.HasPrefix(name, "test.") && !strings.HasPrefix(name, "upgrade.") &&
+			!strings.HasPrefix(name, "wire.pipeline.") {
 			points = append(points, name)
 		}
 	}
@@ -372,6 +377,180 @@ func TestChaosInsertFailureAtEveryEntry(t *testing.T) {
 			t.Fatalf("nth=%d: retry after disarm: %v", nth, err)
 		}
 	}
+}
+
+// TestChaosPipelineFlush arms the client-side pipeline flush point: the
+// batch must fail whole before any request reaches the server, every
+// queued call must carry the injected error, and after disarming the same
+// pipeline contents must flush successfully on the untouched connection.
+func TestChaosPipelineFlush(t *testing.T) {
+	pt, ok := faults.Lookup("wire.pipeline.flush")
+	if !ok {
+		t.Fatal("wire.pipeline.flush not registered")
+	}
+	defer faults.DisarmAll()
+
+	dir := t.TempDir()
+	ct := recoverController(t, dir)
+	srv := wire.NewServer(ct, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pt.FailNth(1, nil)
+	p := cl.Pipeline()
+	var resA, resB []wire.DeployResult
+	pcA := p.Call(wire.MethodDeploy, wire.DeployParams{Source: chaosSrcA}, &resA)
+	pcB := p.Call(wire.MethodDeploy, wire.DeployParams{Source: chaosSrcB}, &resB)
+	err = p.Flush()
+	if err == nil {
+		t.Fatal("pipeline flush under fault reported success")
+	}
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("flush error lost the injected cause: %v", err)
+	}
+	for i, pc := range []*wire.PendingCall{pcA, pcB} {
+		if pc.Err() == nil || !strings.Contains(pc.Err().Error(), "injected failure") {
+			t.Fatalf("call %d error = %v, want injected failure", i, pc.Err())
+		}
+	}
+	if n := len(ct.Programs()); n != 0 {
+		t.Fatalf("%d programs linked by a flush that failed before writing", n)
+	}
+
+	// The connection was never poisoned: the same batch succeeds after
+	// disarming, without redialing.
+	faults.DisarmAll()
+	p = cl.Pipeline()
+	pcA = p.Call(wire.MethodDeploy, wire.DeployParams{Source: chaosSrcA}, &resA)
+	pcB = p.Call(wire.MethodDeploy, wire.DeployParams{Source: chaosSrcB}, &resB)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush after disarm: %v", err)
+	}
+	if pcA.Err() != nil || pcB.Err() != nil {
+		t.Fatalf("call errors after disarm: %v, %v", pcA.Err(), pcB.Err())
+	}
+	if len(resA) != 1 || len(resB) != 2 {
+		t.Fatalf("pipelined deploys linked %d+%d programs, want 1+2", len(resA), len(resB))
+	}
+}
+
+// TestChaosCrashMidGroupCommit crashes a controller in the middle of a
+// group-committed memory batch — the batch spans two journal records made
+// durable by one fsync — by truncating the WAL at byte offsets inside the
+// group, and asserts recovery replays exactly a record-prefix of the
+// batch: all writes of the intact leading records, none of the torn tail.
+func TestChaosCrashMidGroupCommit(t *testing.T) {
+	const memSize = 128
+	dir := t.TempDir()
+	ct := recoverController(t, dir)
+	if _, err := ct.Deploy(chaosSrcA); err != nil {
+		t.Fatal(err)
+	}
+	preBatch := ct.Journal().SegmentBytes()
+
+	// A batch larger than one chunk record journals as two records in one
+	// commit group. Addresses cycle the block; values are distinct.
+	total := controlplane.MemWriteBatchChunk + 4*memSize
+	writes := make([]controlplane.MemWrite, total)
+	for i := range writes {
+		writes[i] = controlplane.MemWrite{Addr: uint32(i % memSize), Value: uint32(i + 1)}
+	}
+	if n, err := ct.WriteMemoryBatch("chaosa", "amem", writes); err != nil || n != total {
+		t.Fatalf("WriteMemoryBatch = %d, %v; want %d", n, err, total)
+	}
+	postBatch := ct.Journal().SegmentBytes()
+	if postBatch <= preBatch {
+		t.Fatalf("batch appended no bytes: %d -> %d", preBatch, postBatch)
+	}
+
+	// expected computes the memory image after replaying the first k batch
+	// writes.
+	expected := func(k int) []uint32 {
+		img := make([]uint32, memSize)
+		for i := 0; i < k; i++ {
+			img[writes[i].Addr] = writes[i].Value
+		}
+		return img
+	}
+
+	cases := []struct {
+		name     string
+		truncAt  int64
+		prefixed int // batch writes that must survive
+	}{
+		// Torn inside the group's first record: the whole batch is lost.
+		{"mid-first-record", preBatch + 10, 0},
+		// Torn inside the second record: the first chunk record is intact
+		// and must replay; the torn record must not.
+		{"mid-second-record", postBatch - 3, controlplane.MemWriteBatchChunk},
+		// No tearing: the whole group replays.
+		{"intact", postBatch, total},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			crashDir := t.TempDir()
+			copyWalDir(t, dir, crashDir)
+			seg := activeSegment(t, crashDir)
+			if err := os.Truncate(seg, tc.truncAt); err != nil {
+				t.Fatal(err)
+			}
+			rec := recoverController(t, crashDir)
+			got, err := rec.ReadMemoryRange("chaosa", "amem", 0, memSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := expected(tc.prefixed); !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered memory is not the %d-write prefix:\n got %v\nwant %v",
+					tc.prefixed, got, want)
+			}
+		})
+	}
+}
+
+// copyWalDir clones a journal directory for a crash simulation.
+func copyWalDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// activeSegment returns the highest-numbered WAL segment in dir.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".log") && n > seg {
+			seg = n
+		}
+	}
+	if seg == "" {
+		t.Fatalf("no WAL segment in %s", dir)
+	}
+	return filepath.Join(dir, seg)
 }
 
 // TestChaosSeededJournalFaults drives a burst of memory writes with the

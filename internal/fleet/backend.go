@@ -51,6 +51,18 @@ type UpgradeBackend interface {
 
 var _ UpgradeBackend = (*wire.Client)(nil)
 
+// BatchBackend is the optional bulk surface of a member: many deploys or
+// memory writes accepted in one call (over the wire, one deploy.batch /
+// mem.writebatch round trip instead of N). Checked by type assertion like
+// TelemetryBackend; callers fall back to per-operation Backend calls on
+// members without it.
+type BatchBackend interface {
+	DeployBatch(sources []string, atomic bool) (wire.DeployBatchResult, error)
+	WriteMemoryBatch(program, mem string, writes []wire.MemWriteEntry) (int, error)
+}
+
+var _ BatchBackend = (*wire.Client)(nil)
+
 // TelemetrySource is what LocalBackend needs from a sweep engine — the
 // telemetry.Engine's Result method — declared locally so fleet does not
 // import the telemetry package.
@@ -106,6 +118,44 @@ func (l *LocalBackend) Programs() ([]wire.ProgramInfo, error) {
 	}
 	return out, nil
 }
+
+// DeployBatch links many source blobs on the local controller under one
+// lock acquisition and one journal group.
+func (l *LocalBackend) DeployBatch(sources []string, atomic bool) (wire.DeployBatchResult, error) {
+	outcomes, err := l.CT.DeployAll(sources, atomic)
+	if err != nil {
+		return wire.DeployBatchResult{}, err
+	}
+	res := wire.DeployBatchResult{Items: make([]wire.DeployBatchItem, 0, len(outcomes))}
+	for _, oc := range outcomes {
+		item := wire.DeployBatchItem{}
+		if oc.Err != nil {
+			item.Error = oc.Err.Error()
+		} else {
+			res.Deployed++
+			for _, r := range oc.Reports {
+				item.Programs = append(item.Programs, wire.DeployResult{
+					Program: r.Program, ProgramID: r.ProgramID, Entries: r.Entries,
+					AllocTime: r.AllocTime, UpdateDelay: r.UpdateDelay, Total: r.Total,
+				})
+			}
+		}
+		res.Items = append(res.Items, item)
+	}
+	return res, nil
+}
+
+// WriteMemoryBatch writes many local buckets in one validate-then-apply
+// batch.
+func (l *LocalBackend) WriteMemoryBatch(program, mem string, writes []wire.MemWriteEntry) (int, error) {
+	ws := make([]controlplane.MemWrite, len(writes))
+	for i, w := range writes {
+		ws[i] = controlplane.MemWrite{Addr: w.Addr, Value: w.Value}
+	}
+	return l.CT.WriteMemoryBatch(program, mem, ws)
+}
+
+var _ BatchBackend = (*LocalBackend)(nil)
 
 // ReadMemory reads a local virtual memory range.
 func (l *LocalBackend) ReadMemory(program, mem string, addr, count uint32) ([]uint32, error) {

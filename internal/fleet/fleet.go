@@ -706,6 +706,58 @@ func (f *Fleet) MemWrite(program, mem string, addr, value uint32) error {
 	return nil
 }
 
+// MemWriteBatch writes many buckets of one program memory on every live
+// replica — one batched mem.writebatch call per replica that exposes the
+// bulk surface, per-bucket writes otherwise. Like MemWrite it succeeds
+// when at least one replica accepts the whole batch.
+func (f *Fleet) MemWriteBatch(program, mem string, writes []wire.MemWriteEntry) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	u, ok := f.store.Resolve(program)
+	if !ok {
+		return fmt.Errorf("fleet: no unit for %q", program)
+	}
+	var wrote int
+	var firstErr error
+	for _, m := range f.liveBackends(u.Members) {
+		if err := writeBatchOn(m.b, program, mem, writes); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: batch write %s/%s on %s: %w", program, mem, m.name, err)
+			}
+			f.noteFailure(m, err)
+			continue
+		}
+		f.noteSuccess(m, nil)
+		wrote++
+	}
+	if wrote == 0 {
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("fleet: no live replica for %q", program)
+	}
+	return nil
+}
+
+// writeBatchOn issues one replica's writes: one mem.writebatch when the
+// backend supports it, else one WriteMemory per bucket.
+func writeBatchOn(b Backend, program, mem string, writes []wire.MemWriteEntry) error {
+	if bb, ok := b.(BatchBackend); ok {
+		n, err := bb.WriteMemoryBatch(program, mem, writes)
+		if err == nil && n != len(writes) {
+			return fmt.Errorf("wrote %d of %d buckets", n, len(writes))
+		}
+		return err
+	}
+	for _, w := range writes {
+		if err := b.WriteMemory(program, mem, w.Addr, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // String renders a one-line fleet summary.
 func (f *Fleet) String() string {
 	var h, s, d int

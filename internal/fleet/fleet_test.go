@@ -693,3 +693,116 @@ func TestFleetTopOverWire(t *testing.T) {
 		t.Fatalf("members over wire = %v", res.Rows[0].Members)
 	}
 }
+
+// batchSpyBackend wraps a Backend that also supports the bulk surface and
+// counts how the fleet reaches it: batched deploys vs. single deploys.
+type batchSpyBackend struct {
+	Backend
+	bb           BatchBackend
+	batchCalls   atomic.Int64
+	batchSources atomic.Int64
+	soloCalls    atomic.Int64
+}
+
+func newBatchSpy(ct *controlplane.Controller) *batchSpyBackend {
+	lb := Local(ct)
+	return &batchSpyBackend{Backend: lb, bb: lb}
+}
+
+func (b *batchSpyBackend) Deploy(src string) ([]wire.DeployResult, error) {
+	b.soloCalls.Add(1)
+	return b.Backend.Deploy(src)
+}
+
+func (b *batchSpyBackend) DeployBatch(sources []string, atomic bool) (wire.DeployBatchResult, error) {
+	b.batchCalls.Add(1)
+	b.batchSources.Add(int64(len(sources)))
+	return b.bb.DeployBatch(sources, atomic)
+}
+
+func (b *batchSpyBackend) WriteMemoryBatch(program, mem string, writes []wire.MemWriteEntry) (int, error) {
+	return b.bb.WriteMemoryBatch(program, mem, writes)
+}
+
+// TestReconcileBatchesDeploys: a member death orphaning several units costs
+// the survivor ONE deploy.batch round trip carrying every re-placed unit,
+// not one Deploy per unit.
+func TestReconcileBatchesDeploys(t *testing.T) {
+	f := New(Options{Policy: ReplicateK{K: 1}, DownAfter: 1})
+	flaky := &flakyBackend{Backend: Local(newLocalMember(t))}
+	if err := f.AddMember("m1", flaky); err != nil {
+		t.Fatal(err)
+	}
+	// Both units land on m1 — the spy joins only afterwards, so every
+	// deploy it ever sees comes from the reconcile pass.
+	for _, src := range []string{counterSrc, dropSrc} {
+		if _, err := f.Deploy(src, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{"counter", "dropper"} {
+		if u, _ := f.store.Resolve(p); !u.hasMember("m1") {
+			t.Fatalf("unit %s on %v, want m1", p, u.Members)
+		}
+	}
+	spy := newBatchSpy(newLocalMember(t))
+	if err := f.AddMember("m2", spy); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky.dead.Store(true)
+	m1, _ := f.member("m1")
+	f.probe(m1)
+	if f.stateOf(m1) != Down {
+		t.Fatal("m1 not down")
+	}
+	f.Reconcile()
+
+	for _, p := range []string{"counter", "dropper"} {
+		u, _ := f.store.Resolve(p)
+		if len(u.Members) != 1 || !u.hasMember("m2") {
+			t.Fatalf("unit %s not failed over: %v", p, u.Members)
+		}
+	}
+	if got := spy.batchCalls.Load(); got != 1 {
+		t.Errorf("survivor saw %d batch calls, want 1", got)
+	}
+	if got := spy.batchSources.Load(); got != 2 {
+		t.Errorf("batch carried %d sources, want 2", got)
+	}
+	if got := spy.soloCalls.Load(); got != 0 {
+		t.Errorf("survivor saw %d single deploys, want 0", got)
+	}
+}
+
+// TestFleetMemWriteBatch: the bulk write fans out to every live replica
+// and every bucket lands; a replica without the bulk surface still gets
+// the writes one by one.
+func TestFleetMemWriteBatch(t *testing.T) {
+	f := New(Options{Policy: ReplicateK{K: 2}})
+	cts := []*controlplane.Controller{newLocalMember(t), newLocalMember(t)}
+	if err := f.AddMember("m1", Local(cts[0])); err != nil {
+		t.Fatal(err)
+	}
+	// m2's backend hides the bulk surface: the fan-out must fall back.
+	if err := f.AddMember("m2", struct{ Backend }{Local(cts[1])}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Deploy(counterSrc, 0); err != nil {
+		t.Fatal(err)
+	}
+	writes := []wire.MemWriteEntry{{Addr: 1, Value: 11}, {Addr: 2, Value: 22}, {Addr: 250, Value: 33}}
+	if err := f.MemWriteBatch("counter", "m", writes); err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range cts {
+		for _, w := range writes {
+			if v, err := ct.ReadMemory("counter", "m", w.Addr); err != nil || v != w.Value {
+				t.Errorf("member %d bucket %d = %d, %v (want %d)", i+1, w.Addr, v, err, w.Value)
+			}
+		}
+	}
+	if err := f.MemWriteBatch("ghost", "m", writes); err == nil {
+		t.Error("write to unknown unit accepted")
+	}
+}

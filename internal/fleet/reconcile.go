@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sort"
 	"time"
 )
 
@@ -22,6 +23,20 @@ func (f *Fleet) reconcileLoop() {
 	}
 }
 
+// deployIntent is one deferred unit deployment queued against a member
+// during a reconcile pass. All of a member's intents flush as a single
+// batched deploy (deploy.batch on BatchBackend members), so failing over
+// hundreds of units to a survivor costs one round trip, not hundreds. ok
+// is set by flushDeploys when the deploy landed.
+type deployIntent struct {
+	unitKey  string
+	source   string
+	programs []string
+	member   string
+	repair   bool
+	ok       bool
+}
+
 // Reconcile runs one desired-vs-actual pass:
 //
 //  1. drop unit assignments pointing at Down (or removed) members — each
@@ -35,6 +50,13 @@ func (f *Fleet) reconcileLoop() {
 //     no longer assigns (e.g. a revived member whose units failed over
 //     while it was down). Programs the store has never heard of are left
 //     alone; they belong to out-of-band operators.
+//
+// Deploys discovered by steps 2 and 3 are not issued inline: they queue
+// as intents and flush after every unit is diffed, one batch per member.
+// Membership is recorded only after the flush reports which intents
+// landed; a failed intent leaves its slot open for the next pass instead
+// of falling through to the next-ranked candidate, keeping the pass at
+// O(members) deploy round trips instead of O(units).
 //
 // It is safe to call manually (tests, CLI) and serializes with
 // Deploy/Revoke.
@@ -73,6 +95,20 @@ func (f *Fleet) Reconcile() {
 		listings[name] = &listing{m: m, programs: set}
 	}
 
+	intents := make(map[string][]*deployIntent)
+	queue := func(member string, u *Unit, repair bool) *deployIntent {
+		it := &deployIntent{unitKey: u.Key, source: u.Source,
+			programs: u.Programs, member: member, repair: repair}
+		intents[member] = append(intents[member], it)
+		return it
+	}
+	type unitPlan struct {
+		u         *Unit
+		confirmed []string
+		pending   []*deployIntent
+	}
+	var plans []unitPlan
+
 	for _, u := range f.store.List() {
 		assigned := make([]string, 0, len(u.Members))
 		failedOver := 0
@@ -89,8 +125,10 @@ func (f *Fleet) Reconcile() {
 			f.log.Errorf("fleet: unit %s lost %d replica(s), re-placing", u.Key, failedOver)
 		}
 
-		// Repair divergence on members we could list.
+		// Repair divergence on members we could list: the partial copy is
+		// cleared now, the re-deploy rides the member's batch.
 		kept := assigned[:0]
+		var pending []*deployIntent
 		for _, name := range assigned {
 			l, ok := listings[name]
 			if !ok {
@@ -107,22 +145,13 @@ func (f *Fleet) Reconcile() {
 				kept = append(kept, name)
 				continue
 			}
-			// Partial unit: clear what's left, then re-deploy whole.
 			for _, p := range u.Programs {
 				if l.programs[p] {
 					f.revokeUnitOn(name, []string{p})
 					delete(l.programs, p)
 				}
 			}
-			if _, err := l.m.b.Deploy(u.Source); err != nil {
-				f.log.Errorf("fleet: repair %s on %s: %v", u.Key, name, err)
-				continue
-			}
-			f.m.cReconcileDeploys.Inc()
-			for _, p := range u.Programs {
-				l.programs[p] = true
-			}
-			kept = append(kept, name)
+			pending = append(pending, queue(name, u, true))
 		}
 		assigned = kept
 
@@ -131,13 +160,16 @@ func (f *Fleet) Reconcile() {
 		// after a crash. Adopting re-uses the intact copy; without this the
 		// top-up would fill the slot elsewhere and the orphan sweep would
 		// revoke the survivor. Iterate in member order for determinism.
-		if len(assigned) < u.Replicas && len(u.Programs) > 0 {
-			inUnit := make(map[string]bool, len(assigned))
+		if len(assigned)+len(pending) < u.Replicas && len(u.Programs) > 0 {
+			inUnit := make(map[string]bool, len(assigned)+len(pending))
 			for _, n := range assigned {
 				inUnit[n] = true
 			}
+			for _, it := range pending {
+				inUnit[it.member] = true
+			}
 			for _, name := range names {
-				if len(assigned) >= u.Replicas {
+				if len(assigned)+len(pending) >= u.Replicas {
 					break
 				}
 				l, ok := listings[name]
@@ -161,33 +193,70 @@ func (f *Fleet) Reconcile() {
 			}
 		}
 
-		// Top up to the replica target.
-		if len(assigned) < u.Replicas {
-			skip := make(map[string]bool, len(assigned))
+		// Top up to the replica target: claim the top-ranked candidates
+		// for the open slots; their deploys ride the members' batches too.
+		if open := u.Replicas - len(assigned) - len(pending); open > 0 {
+			skip := make(map[string]bool, len(assigned)+len(pending))
 			for _, n := range assigned {
 				skip[n] = true
 			}
+			for _, it := range pending {
+				skip[it.member] = true
+			}
 			fp := Footprint{Entries: u.Entries, MemWords: u.MemWords}
 			if ranked, err := f.opt.Policy.Place(f.liveViews(skip), fp); err == nil {
-				added := f.deployRanked(u.Source, u.Programs, ranked, u.Replicas-len(assigned))
-				for _, name := range added {
-					f.m.cReconcileDeploys.Inc()
-					if l, ok := listings[name]; ok {
-						for _, p := range u.Programs {
-							l.programs[p] = true
-						}
+				for _, name := range ranked {
+					if open == 0 {
+						break
 					}
+					if _, ok := f.member(name); !ok {
+						continue
+					}
+					pending = append(pending, queue(name, u, false))
+					open--
 				}
-				if len(added) > 0 {
-					f.refreshUtil(added)
-					f.log.Infof("fleet: unit %s re-placed on %v", u.Key, added)
-				}
-				assigned = append(assigned, added...)
 			} else {
-				f.log.Errorf("fleet: unit %s below target (%d/%d): %v", u.Key, len(assigned), u.Replicas, err)
+				f.log.Errorf("fleet: unit %s below target (%d/%d): %v",
+					u.Key, len(assigned)+len(pending), u.Replicas, err)
 			}
 		}
-		f.store.SetMembers(u.Key, assigned)
+		plans = append(plans, unitPlan{u: u, confirmed: assigned, pending: pending})
+	}
+
+	// Flush: one batched deploy per member, in name order for determinism.
+	flushTo := make([]string, 0, len(intents))
+	for name := range intents {
+		flushTo = append(flushTo, name)
+	}
+	sort.Strings(flushTo)
+	for _, name := range flushTo {
+		f.flushDeploys(name, intents[name])
+	}
+
+	// Record membership from what actually landed.
+	var placed []string
+	for _, pl := range plans {
+		assigned := pl.confirmed
+		for _, it := range pl.pending {
+			if !it.ok {
+				continue
+			}
+			assigned = append(assigned, it.member)
+			f.m.cReconcileDeploys.Inc()
+			if l, ok := listings[it.member]; ok {
+				for _, p := range it.programs {
+					l.programs[p] = true
+				}
+			}
+			if !it.repair {
+				placed = append(placed, it.member)
+				f.log.Infof("fleet: unit %s re-placed on %s", pl.u.Key, it.member)
+			}
+		}
+		f.store.SetMembers(pl.u.Key, assigned)
+	}
+	if len(placed) > 0 {
+		f.refreshUtil(placed)
 	}
 
 	// Orphan sweep against the updated assignments.
@@ -203,4 +272,45 @@ func (f *Fleet) Reconcile() {
 		}
 	}
 	f.m.hReconcileNs.ObserveDuration(time.Since(start))
+}
+
+// flushDeploys issues one member's queued deploys: a single non-atomic
+// deploy.batch when the backend supports it, else one Deploy per intent.
+// Per-unit failures mark only that intent; a transport-level batch failure
+// leaves every intent unplaced and is charged against the member's health.
+func (f *Fleet) flushDeploys(name string, its []*deployIntent) {
+	m, ok := f.member(name)
+	if !ok {
+		return
+	}
+	if bb, ok := m.b.(BatchBackend); ok {
+		sources := make([]string, len(its))
+		for i, it := range its {
+			sources[i] = it.source
+		}
+		res, err := bb.DeployBatch(sources, false)
+		if err != nil {
+			f.log.Errorf("fleet: batch deploy of %d unit(s) on %s: %v", len(its), name, err)
+			f.noteFailure(m, err)
+			return
+		}
+		for i, item := range res.Items {
+			if i >= len(its) {
+				break
+			}
+			if item.Error != "" {
+				f.log.Errorf("fleet: deploy %s on %s: %s", its[i].unitKey, name, item.Error)
+				continue
+			}
+			its[i].ok = true
+		}
+		return
+	}
+	for _, it := range its {
+		if _, err := m.b.Deploy(it.source); err != nil {
+			f.log.Errorf("fleet: deploy %s on %s: %v", it.unitKey, name, err)
+			continue
+		}
+		it.ok = true
+	}
 }

@@ -7,10 +7,17 @@
 // member back to v1; a member that cannot be reached stays pinned to v1
 // and is caught up by reconciliation once the unit's desired source has
 // advanced to v2.
+//
+// Within each phase the member RPCs fan out concurrently — prepares,
+// a wave's cutovers, its soak samples, and commits are independent per
+// member — so a phase costs one slowest-member round trip instead of the
+// sum over members. Ordering between phases (and the soak between a wave
+// and its judgment) is unchanged.
 package fleet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"p4runpro/internal/wire"
@@ -120,30 +127,52 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 	res := wire.FleetUpgradeResult{Unit: u.Key}
 	pin := func(mn string) { res.Pinned = append(res.Pinned, mn) }
 
-	// Phase 1: prepare v2 on every reachable member. Prepare is invisible
-	// to traffic (the gate starts pinned to v1), so a failure here only
-	// pins that member.
+	// Phase 1: prepare v2 on every reachable member, fanned out
+	// concurrently — prepare is the expensive step (link v2 beside v1 on
+	// each member) and members are independent until cutover. Prepare is
+	// invisible to traffic (the gate starts pinned to v1), so a failure
+	// here only pins that member. Results land in per-member slots so the
+	// rollout order stays the unit's member order regardless of which RPC
+	// returns first.
 	var rollout []*upgradeMember
-	for _, mn := range u.Members {
-		m, ok := f.member(mn)
-		if !ok || f.stateOf(m) == Down {
-			pin(mn)
-			continue
+	{
+		slots := make([]*upgradeMember, len(u.Members))
+		spawned := make([]bool, len(u.Members))
+		var wg sync.WaitGroup
+		for i, mn := range u.Members {
+			m, ok := f.member(mn)
+			if !ok || f.stateOf(m) == Down {
+				pin(mn)
+				continue
+			}
+			ub, ok := m.b.(UpgradeBackend)
+			if !ok {
+				pin(mn)
+				continue
+			}
+			spawned[i] = true
+			wg.Add(1)
+			go func(i int, mn string, m *member, ub UpgradeBackend) {
+				defer wg.Done()
+				if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+					return ub.UpgradeStart(program, v2src)
+				}); err != nil {
+					f.log.Errorf("fleet: upgrade prepare %s on %s: %v", program, mn, err)
+					f.noteFailure(m, err)
+					return
+				}
+				slots[i] = &upgradeMember{m: m, ub: ub, prepared: true}
+			}(i, mn, m, ub)
 		}
-		ub, ok := m.b.(UpgradeBackend)
-		if !ok {
-			pin(mn)
-			continue
+		wg.Wait()
+		for i, mn := range u.Members {
+			switch {
+			case slots[i] != nil:
+				rollout = append(rollout, slots[i])
+			case spawned[i]:
+				pin(mn)
+			}
 		}
-		if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
-			return ub.UpgradeStart(program, v2src)
-		}); err != nil {
-			f.log.Errorf("fleet: upgrade prepare %s on %s: %v", program, mn, err)
-			f.noteFailure(m, err)
-			pin(mn)
-			continue
-		}
-		rollout = append(rollout, &upgradeMember{m: m, ub: ub, prepared: true})
 	}
 	if len(rollout) == 0 {
 		f.m.cUpgRolledBack.Inc()
@@ -183,27 +212,47 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 		wave := rollout[start : start+size]
 		res.Waves++
 
-		live := wave[:0]
-		for _, um := range wave {
-			st, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
-				return um.ub.UpgradeCutover(program, 2)
-			})
-			if err != nil {
-				// The member may or may not have flipped; force it back to
-				// v1 best-effort and pin it rather than failing the wave.
-				f.log.Errorf("fleet: cutover %s on %s: %v", program, um.m.name, err)
-				f.noteFailure(um.m, err)
-				um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
-				um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
-				um.prepared = false
-				pin(um.m.name)
-				continue
+		// Cut the whole wave over concurrently; success flags and baseline
+		// samples land in wave-indexed slots so the post-wait bookkeeping
+		// keeps member order.
+		live := make([]*upgradeMember, 0, len(wave))
+		{
+			flipped := make([]bool, len(wave))
+			sts := make([]wire.UpgradeStatusResult, len(wave))
+			var wg sync.WaitGroup
+			for i, um := range wave {
+				wg.Add(1)
+				go func(i int, um *upgradeMember) {
+					defer wg.Done()
+					st, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+						return um.ub.UpgradeCutover(program, 2)
+					})
+					if err != nil {
+						// The member may or may not have flipped; force it back
+						// to v1 best-effort rather than failing the wave.
+						f.log.Errorf("fleet: cutover %s on %s: %v", program, um.m.name, err)
+						f.noteFailure(um.m, err)
+						um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
+						um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
+						um.prepared = false
+						return
+					}
+					flipped[i], sts[i] = true, st
+				}(i, um)
 			}
-			f.m.hUpgCutoverNs.Observe(uint64(st.CutoverNs))
-			um.cutover = true
-			um.before = st
-			um.beforeAt = time.Now()
-			live = append(live, um)
+			wg.Wait()
+			baseAt := time.Now()
+			for i, um := range wave {
+				if !flipped[i] {
+					pin(um.m.name)
+					continue
+				}
+				f.m.hUpgCutoverNs.Observe(uint64(sts[i].CutoverNs))
+				um.cutover = true
+				um.before = sts[i]
+				um.beforeAt = baseAt
+				live = append(live, um)
+			}
 		}
 		kept := make([]*upgradeMember, 0, len(rollout))
 		kept = append(kept, rollout[:start]...)
@@ -215,36 +264,67 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 		}
 
 		time.Sleep(opt.Soak)
-		for _, um := range live {
-			after, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
-				return um.ub.UpgradeStatus(program)
-			})
-			if err != nil {
-				return rollbackAll(fmt.Sprintf("health sample on %s failed: %v", um.m.name, err)), nil
+		// Sample every soaked member concurrently, then judge in member
+		// order so the rollback reason is deterministic.
+		afters := make([]wire.UpgradeStatusResult, len(live))
+		errs := make([]error, len(live))
+		var wg sync.WaitGroup
+		for i, um := range live {
+			wg.Add(1)
+			go func(i int, um *upgradeMember) {
+				defer wg.Done()
+				afters[i], errs[i] = retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+					return um.ub.UpgradeStatus(program)
+				})
+			}(i, um)
+		}
+		wg.Wait()
+		for i, um := range live {
+			if errs[i] != nil {
+				return rollbackAll(fmt.Sprintf("health sample on %s failed: %v", um.m.name, errs[i])), nil
 			}
-			if reason := judgeHealth(opt, um, after); reason != "" {
+			if reason := judgeHealth(opt, um, afters[i]); reason != "" {
 				return rollbackAll(fmt.Sprintf("%s on %s", reason, um.m.name)), nil
 			}
 		}
 		start += len(live)
 	}
 
-	// Phase 3: every wave held — commit. A member whose commit fails is
-	// rolled back individually and pinned; the rest proceed.
-	for _, um := range rollout {
-		if !um.cutover {
-			continue
+	// Phase 3: every wave held — commit, fanned out concurrently. A member
+	// whose commit fails is rolled back individually and pinned; the rest
+	// proceed.
+	{
+		committed := make([]bool, len(rollout))
+		var wg sync.WaitGroup
+		for i, um := range rollout {
+			if !um.cutover {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, um *upgradeMember) {
+				defer wg.Done()
+				if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
+					return um.ub.UpgradeCommit(program)
+				}); err != nil {
+					f.log.Errorf("fleet: commit %s on %s: %v", program, um.m.name, err)
+					um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
+					um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
+					return
+				}
+				committed[i] = true
+			}(i, um)
 		}
-		if _, err := retryUpgradeCall(opt, func() (wire.UpgradeStatusResult, error) {
-			return um.ub.UpgradeCommit(program)
-		}); err != nil {
-			f.log.Errorf("fleet: commit %s on %s: %v", program, um.m.name, err)
-			um.ub.UpgradeCutover(program, 1) //nolint:errcheck // best-effort
-			um.ub.UpgradeAbort(program)      //nolint:errcheck // best-effort
-			pin(um.m.name)
-			continue
+		wg.Wait()
+		for i, um := range rollout {
+			if !um.cutover {
+				continue
+			}
+			if committed[i] {
+				res.Committed = append(res.Committed, um.m.name)
+			} else {
+				pin(um.m.name)
+			}
 		}
-		res.Committed = append(res.Committed, um.m.name)
 	}
 	if len(res.Committed) == 0 {
 		f.m.cUpgRolledBack.Inc()

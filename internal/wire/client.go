@@ -131,6 +131,15 @@ func (c *Client) Close() error {
 // call performs one RPC round trip, reconnecting and retrying transport
 // failures when a retry policy is set.
 func (c *Client) call(method string, params, result any) error {
+	_, err := c.callFrames(method, params, result, nil)
+	return err
+}
+
+// callFrames is call with binary frames attached to the request and
+// returned from the response (the bulk verbs). Retry semantics match
+// call: only transport failures reconnect and retry; a server-reported
+// *OpError never does.
+func (c *Client) callFrames(method string, params, result any, reqFrames [][]byte) ([][]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1
@@ -146,64 +155,100 @@ func (c *Client) call(method string, params, result any) error {
 			}
 		}
 		var retryable bool
-		retryable, err = c.roundTrip(method, params, result)
+		var respFrames [][]byte
+		respFrames, retryable, err = c.roundTrip(method, params, result, reqFrames)
 		if err == nil {
-			return nil
+			return respFrames, nil
 		}
 		if !retryable {
-			return err
+			return nil, err
 		}
 		c.conn.Close()
 		c.conn = nil
 	}
-	return err
+	return nil, err
 }
 
-// roundTrip writes one request and reads its response on the current
-// connection. The bool reports whether the failure was a transport error
-// worth a reconnect (as opposed to a server-reported or encoding error).
-func (c *Client) roundTrip(method string, params, result any) (bool, error) {
+// roundTrip writes one request (plus any binary frames) and reads its
+// response on the current connection. The bool reports whether the
+// failure was a transport error worth a reconnect. Server-side failures
+// come back as *OpError: the connection is still healthy and stays open.
+// A desynced stream (response id mismatch, corrupt frame) poisons the
+// connection so the next call redials.
+func (c *Client) roundTrip(method string, params, result any, reqFrames [][]byte) ([][]byte, bool, error) {
 	c.nextID++
-	req := Request{ID: c.nextID, Method: method}
+	req := Request{ID: c.nextID, Method: method, Frames: len(reqFrames)}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 		req.Params = raw
 	}
-	line, err := json.Marshal(&req)
+	buf, err := json.Marshal(&req)
 	if err != nil {
-		return false, err
+		return nil, false, err
 	}
-	line = append(line, '\n')
+	buf = append(buf, '\n')
+	for _, f := range reqFrames {
+		buf = AppendFrame(buf, f)
+	}
 	if c.callTimeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
-			return true, err
+			return nil, true, err
 		}
 		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
-	if _, err := c.conn.Write(line); err != nil {
-		return true, err
+	if _, err := c.conn.Write(buf); err != nil {
+		return nil, true, err
 	}
+	resp, respFrames, retryable, err := c.readResponse()
+	if err != nil {
+		return nil, retryable, err
+	}
+	if resp.ID != req.ID {
+		// The stream is desynced — whatever follows belongs to some other
+		// exchange. Drop the connection so the next call starts clean.
+		c.conn.Close()
+		c.conn = nil
+		return nil, false, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return nil, false, &OpError{Method: method, Msg: resp.Error}
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return nil, false, err
+		}
+	}
+	return respFrames, false, nil
+}
+
+// readResponse reads one response line plus its announced binary frames.
+// The bool classifies a failure as transport-level (retryable after a
+// reconnect) versus protocol-level.
+func (c *Client) readResponse() (Response, [][]byte, bool, error) {
 	respLine, err := c.rd.ReadBytes('\n')
 	if err != nil {
-		return true, err
+		return Response{}, nil, true, err
 	}
 	var resp Response
 	if err := json.Unmarshal(respLine, &resp); err != nil {
-		return false, err
+		return Response{}, nil, false, err
 	}
-	if resp.ID != req.ID {
-		return false, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	if resp.Frames < 0 || resp.Frames > MaxFramesPerMessage {
+		return Response{}, nil, false, fmt.Errorf("%w: %d", ErrBadFrameCount, resp.Frames)
 	}
-	if resp.Error != "" {
-		return false, fmt.Errorf("wire: %s", resp.Error)
+	var frames [][]byte
+	for i := 0; i < resp.Frames; i++ {
+		f, err := ReadFrame(c.rd, DefaultMaxFrameBytes)
+		if err != nil {
+			// Frame stream is unrecoverable mid-message; reconnect.
+			return Response{}, nil, true, err
+		}
+		frames = append(frames, f)
 	}
-	if result != nil {
-		return false, json.Unmarshal(resp.Result, result)
-	}
-	return false, nil
+	return resp, frames, false, nil
 }
 
 // Deploy links P4runpro source on the remote switch.

@@ -1,7 +1,11 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -44,6 +48,46 @@ func FuzzProtoParse(f *testing.F) {
 		}
 		if again.ID != req.ID || again.Method != req.Method || string(again.Params) != string(req.Params) {
 			t.Fatalf("round trip changed request: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzFrameDecode drives DecodeFrame — the binary framing layer's entry
+// point for untrusted bytes. Properties: it never panics, every failure is
+// one of the typed sentinels (or io.EOF on empty input), and an accepted
+// frame re-encodes byte-identically to the prefix it consumed.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, []byte("hello frames")))
+	f.Add(AppendFrame(nil, nil))
+	f.Add(AppendFrame(AppendFrame(nil, []byte("a")), []byte("b")))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3}) // short header
+	trunc := AppendFrame(nil, []byte("truncated payload"))
+	f.Add(trunc[:len(trunc)-5])
+	corrupt := AppendFrame(nil, []byte("bad crc"))
+	corrupt[4] ^= 0xff
+	f.Add(corrupt)
+	huge := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(huge, 1<<31)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, n, err := DecodeFrame(b, 1<<20)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF),
+				errors.Is(err, ErrFrameCorrupt),
+				errors.Is(err, ErrFrameTooLarge):
+			default:
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n < frameHeader || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if got := AppendFrame(nil, payload); !bytes.Equal(got, b[:n]) {
+			t.Fatalf("re-encode differs from consumed prefix (%d bytes)", n)
 		}
 	})
 }

@@ -13,11 +13,15 @@ import (
 	"time"
 )
 
-// Request is one RPC call. Params' shape depends on Method.
+// Request is one RPC call. Params' shape depends on Method. Frames
+// announces how many length-prefixed binary frames (see frame.go) follow
+// this line on the connection — only the bulk verbs use them; a zero
+// count is the classic pure-JSON request.
 type Request struct {
 	ID     int64           `json:"id"`
 	Method string          `json:"method"`
 	Params json.RawMessage `json:"params,omitempty"`
+	Frames int             `json:"frames,omitempty"`
 }
 
 // ParseRequest parses one newline-stripped request line into a Request,
@@ -35,12 +39,27 @@ func ParseRequest(line []byte) (Request, error) {
 	return req, nil
 }
 
-// Response answers one Request. Exactly one of Error/Result is meaningful.
+// Response answers one Request. Exactly one of Error/Result is
+// meaningful. Frames announces trailing binary frames exactly like
+// Request.Frames (mem.readstream answers with its chunks framed).
 type Response struct {
 	ID     int64           `json:"id"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Frames int             `json:"frames,omitempty"`
 }
+
+// OpError is a server-reported (application-level) failure of one
+// operation. It is distinct from transport errors: the connection that
+// carried it is still healthy, responses keep flowing, and — inside a
+// Pipeline — other operations in the same batch are unaffected. Its
+// Error string keeps the historical "wire: <message>" shape.
+type OpError struct {
+	Method string // the method that failed
+	Msg    string // the server's error text
+}
+
+func (e *OpError) Error() string { return "wire: " + e.Msg }
 
 // Method names.
 const (
@@ -58,6 +77,82 @@ const (
 	MethodMetrics     = "metrics"
 	MethodSnapshot    = "snapshot"
 )
+
+// Bulk method names. These are the mass-operation fast path: one request
+// carries many programs or many memory words, the server validates and
+// applies them under a single controller lock acquisition and a single
+// journal group, and big payloads ride in binary frames instead of JSON.
+const (
+	MethodDeployBatch   = "deploy.batch"
+	MethodMemWriteBatch = "mem.writebatch"
+	MethodMemReadStream = "mem.readstream"
+)
+
+// DeployBatchParams carries N independent source blobs to link in one
+// round trip. Atomic selects all-or-nothing semantics: the first blob
+// that fails to link unwinds every blob this request already linked and
+// fails the whole call. Non-atomic batches link what they can and report
+// per-blob outcomes.
+type DeployBatchParams struct {
+	Sources []string `json:"sources"`
+	Atomic  bool     `json:"atomic,omitempty"`
+}
+
+// DeployBatchItem is one source blob's outcome in a non-atomic batch
+// (and, for atomic batches, one successful blob's report).
+type DeployBatchItem struct {
+	Programs []DeployResult `json:"programs,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// DeployBatchResult reports a deploy.batch: one item per requested
+// source, in request order.
+type DeployBatchResult struct {
+	Items    []DeployBatchItem `json:"items"`
+	Deployed int               `json:"deployed"` // blobs that linked
+}
+
+// MemWriteEntry is one (bucket, value) write of a memory batch.
+type MemWriteEntry struct {
+	Addr  uint32 `json:"addr"`
+	Value uint32 `json:"value"`
+}
+
+// MemWriteBatchParams writes N buckets of one program's memory block in
+// a single journaled group. When Binary is set, Writes stays empty and
+// the (addr, value) pairs arrive as one trailing binary frame
+// (EncodeWritePairs layout) — the cheap encoding for large batches.
+type MemWriteBatchParams struct {
+	Program string          `json:"program"`
+	Mem     string          `json:"mem"`
+	Writes  []MemWriteEntry `json:"writes,omitempty"`
+	Binary  bool            `json:"binary,omitempty"`
+}
+
+// MemWriteBatchResult reports how many buckets a mem.writebatch wrote.
+type MemWriteBatchResult struct {
+	Written int `json:"written"`
+}
+
+// MemReadStreamParams addresses a large virtual memory range to be
+// returned as chunked binary frames rather than one giant JSON array.
+// ChunkWords bounds one response frame (default 16384 words = 64KB).
+type MemReadStreamParams struct {
+	Program    string `json:"program"`
+	Mem        string `json:"mem"`
+	Addr       uint32 `json:"addr"`
+	Count      uint32 `json:"count"`
+	ChunkWords uint32 `json:"chunk_words,omitempty"`
+}
+
+// MemReadStreamResult describes the framed payload that follows the
+// response line: Chunks frames of up to ChunkWords little-endian uint32s
+// each, Count words in total.
+type MemReadStreamResult struct {
+	Count      uint32 `json:"count"`
+	Chunks     int    `json:"chunks"`
+	ChunkWords uint32 `json:"chunk_words"`
+}
 
 // Versioned-upgrade method names (single-switch daemon). start links v2
 // alongside v1 and installs the version gate; cutover atomically flips

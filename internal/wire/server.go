@@ -247,12 +247,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		resp := Response{}
 		s.cRequests.Inc()
+		var respFrames [][]byte
 		req, err := ParseRequest(line)
 		if err != nil {
 			resp.Error = err.Error()
 		} else {
 			resp.ID = req.ID
-			result, err := s.dispatch(req)
+			// A request announcing binary frames must deliver them before
+			// anything else happens on the connection; an out-of-bound
+			// count or an oversized/corrupt frame gets a typed error
+			// response and closes the connection (the stream position past
+			// the violation is unknowable).
+			frames, ferr, fatal := s.readReqFrames(conn, br, req)
+			if ferr != nil {
+				resp.Error = ferr.Error()
+				s.cReqErrs.Inc()
+				s.log.Errorf("wire: %s (id=%d): %s", req.Method, req.ID, resp.Error)
+				enc.Encode(&resp) //nolint:errcheck // closing anyway
+				if fatal {
+					return
+				}
+				continue
+			}
+			result, rframes, err := s.dispatchFramed(req, frames)
 			if err != nil {
 				resp.Error = err.Error()
 			} else {
@@ -261,6 +278,8 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp.Error = "marshal result: " + err.Error()
 				} else {
 					resp.Result = raw
+					respFrames = rframes
+					resp.Frames = len(rframes)
 				}
 			}
 		}
@@ -276,7 +295,159 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.log.Errorf("wire: write response: %v", err)
 			return
 		}
+		if len(respFrames) > 0 {
+			var fb []byte
+			for _, f := range respFrames {
+				fb = AppendFrame(fb, f)
+			}
+			if _, err := conn.Write(fb); err != nil {
+				s.log.Errorf("wire: write response frames: %v", err)
+				return
+			}
+		}
 	}
+}
+
+// readReqFrames reads the binary frames a parsed request announced. The
+// returned error is reported to the client; fatal additionally closes the
+// connection (frame-count violations and oversized/corrupt frames leave
+// the stream position unknowable).
+func (s *Server) readReqFrames(conn net.Conn, br *bufio.Reader, req Request) (frames [][]byte, err error, fatal bool) {
+	if req.Frames == 0 {
+		return nil, nil, false
+	}
+	if req.Frames < 0 || req.Frames > MaxFramesPerMessage {
+		return nil, fmt.Errorf("%w: %d", ErrBadFrameCount, req.Frames), true
+	}
+	for i := 0; i < req.Frames; i++ {
+		if err := conn.SetReadDeadline(time.Now().Add(s.ReadTimeout)); err != nil {
+			return nil, err, true
+		}
+		f, err := ReadFrame(br, s.MaxRequestBytes)
+		if err != nil {
+			return nil, err, true
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil, false
+}
+
+// dispatchFramed routes the bulk verbs (which consume request frames and
+// may answer with response frames) and forwards everything else to the
+// classic JSON dispatch.
+func (s *Server) dispatchFramed(req Request, frames [][]byte) (any, [][]byte, error) {
+	switch req.Method {
+	case MethodDeployBatch, MethodMemWriteBatch, MethodMemReadStream:
+		if _, ok := s.handler(req.Method); ok {
+			break // an extension owns the name
+		}
+		if s.ct == nil {
+			return nil, nil, fmt.Errorf("method %q needs a single-switch daemon (this one serves a fleet; use the fleet.* verbs)", req.Method)
+		}
+		switch req.Method {
+		case MethodDeployBatch:
+			res, err := s.deployBatch(req.Params)
+			return res, nil, err
+		case MethodMemWriteBatch:
+			res, err := s.memWriteBatch(req.Params, frames)
+			return res, nil, err
+		case MethodMemReadStream:
+			return s.memReadStream(req.Params)
+		}
+	}
+	result, err := s.dispatch(req)
+	return result, nil, err
+}
+
+// deployBatch links many source blobs under one controller lock and one
+// journal group.
+func (s *Server) deployBatch(params json.RawMessage) (DeployBatchResult, error) {
+	var p DeployBatchParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return DeployBatchResult{}, err
+	}
+	outcomes, err := s.ct.DeployAll(p.Sources, p.Atomic)
+	if err != nil {
+		return DeployBatchResult{}, err
+	}
+	res := DeployBatchResult{Items: make([]DeployBatchItem, 0, len(outcomes))}
+	for _, oc := range outcomes {
+		item := DeployBatchItem{}
+		if oc.Err != nil {
+			item.Error = oc.Err.Error()
+		} else {
+			res.Deployed++
+			for _, r := range oc.Reports {
+				item.Programs = append(item.Programs, DeployResult{
+					Program: r.Program, ProgramID: r.ProgramID, Entries: r.Entries,
+					AllocTime: r.AllocTime, UpdateDelay: r.UpdateDelay, Total: r.Total,
+				})
+			}
+		}
+		res.Items = append(res.Items, item)
+	}
+	return res, nil
+}
+
+// memWriteBatch writes N buckets from JSON entries or one binary frame.
+func (s *Server) memWriteBatch(params json.RawMessage, frames [][]byte) (MemWriteBatchResult, error) {
+	var p MemWriteBatchParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return MemWriteBatchResult{}, err
+	}
+	entries := p.Writes
+	if p.Binary {
+		if len(frames) != 1 {
+			return MemWriteBatchResult{}, fmt.Errorf("mem.writebatch: binary mode wants 1 frame, got %d", len(frames))
+		}
+		var err error
+		entries, err = DecodeWritePairs(frames[0])
+		if err != nil {
+			return MemWriteBatchResult{}, err
+		}
+	}
+	writes := make([]controlplane.MemWrite, len(entries))
+	for i, e := range entries {
+		writes[i] = controlplane.MemWrite{Addr: e.Addr, Value: e.Value}
+	}
+	n, err := s.ct.WriteMemoryBatch(p.Program, p.Mem, writes)
+	if err != nil {
+		return MemWriteBatchResult{}, err
+	}
+	return MemWriteBatchResult{Written: n}, nil
+}
+
+// memReadStream snapshots a large memory range and chunks it into binary
+// response frames.
+func (s *Server) memReadStream(params json.RawMessage) (any, [][]byte, error) {
+	var p MemReadStreamParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, nil, err
+	}
+	if p.Count == 0 {
+		p.Count = 1
+	}
+	chunk := p.ChunkWords
+	if chunk == 0 {
+		chunk = 16384 // 64KB frames
+	}
+	chunks := int((p.Count + chunk - 1) / chunk)
+	if chunks > MaxFramesPerMessage {
+		return nil, nil, fmt.Errorf("%w: range needs %d frames (max %d; raise chunk_words)", ErrBadFrameCount, chunks, MaxFramesPerMessage)
+	}
+	vals, err := s.ct.ReadMemoryRange(p.Program, p.Mem, p.Addr, p.Count)
+	if err != nil {
+		return nil, nil, err
+	}
+	frames := make([][]byte, 0, chunks)
+	for off := 0; off < len(vals); off += int(chunk) {
+		end := off + int(chunk)
+		if end > len(vals) {
+			end = len(vals)
+		}
+		frames = append(frames, EncodeU32s(vals[off:end]))
+	}
+	return MemReadStreamResult{Count: uint32(len(vals)), Chunks: len(frames), ChunkWords: chunk}, frames, nil
 }
 
 func (s *Server) dispatch(req Request) (any, error) {
