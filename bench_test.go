@@ -15,6 +15,7 @@ import (
 	"p4runpro/internal/core"
 	"p4runpro/internal/experiments"
 	"p4runpro/internal/journal"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/programs"
 	"p4runpro/internal/rmt"
@@ -747,6 +748,55 @@ func BenchmarkDeployThroughput(b *testing.B) {
 						if _, err := ct.Deploy(src); err != nil {
 							b.Fatal(err)
 						}
+					}
+				}
+				b.StopTimer()
+				for _, n := range names {
+					if _, err := ct.Revoke(n); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "programs/s")
+		})
+	}
+}
+
+// BenchmarkDeployTraced measures the cost of operation tracing on deploy
+// throughput: the same journaled deploy/revoke loop as DeployThroughput,
+// run untraced, with a disabled tracer attached (the default daemon
+// configuration), and with tracing enabled. The acceptance bar is that
+// "traced" stays within a few percent of "untraced" programs/s; "disabled"
+// should be indistinguishable from "untraced".
+func BenchmarkDeployTraced(b *testing.B) {
+	const batch = 16
+	sources := make([]string, batch)
+	names := make([]string, batch)
+	for i := range sources {
+		names[i] = fmt.Sprintf("trc%d", i)
+		sources[i] = fmt.Sprintf(
+			"program trc%d(<hdr.ipv4.src, 10.%d.%d.0, 0xffffff00>) { FORWARD(2); }",
+			i, 1+i/250, i%250)
+	}
+	for _, mode := range []string{"untraced", "disabled", "traced"} {
+		b.Run(mode, func(b *testing.B) {
+			ct, err := controlplane.Recover(b.TempDir(), DefaultConfig(), DefaultOptions(),
+				journal.Options{Sync: journal.SyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ct.Journal().Close()
+			if mode != "untraced" {
+				tr := trace.New(trace.Options{})
+				tr.SetEnabled(mode == "traced")
+				ct.SetTracing(tr, trace.NewFlightRecorder(512))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, src := range sources {
+					if _, err := ct.Deploy(src); err != nil {
+						b.Fatal(err)
 					}
 				}
 				b.StopTimer()

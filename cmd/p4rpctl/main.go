@@ -15,7 +15,12 @@
 //	p4rpctl [-addr host:9800] metrics [json]
 //	p4rpctl [-addr host:9800] top [iterations]
 //	p4rpctl [-addr host:9800] trace [owner] [limit]
+//	p4rpctl [-addr host:9800] ops [--slow] [--verb v] [--trace <id>] [--flightrec] [--fleet] [limit]
 //	p4rpctl [-addr host:9800] upgrade start|cutover|commit|abort|status ...
+//
+// Two tracing surfaces share the vocabulary but not the subject: `trace`
+// shows the data plane (sampled per-packet postcards), `ops` shows the
+// control plane (distributed operation traces and the flight recorder).
 //
 // Against a fleet daemon (p4rpd -fleet N):
 //
@@ -30,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"text/tabwriter"
 	"time"
@@ -175,6 +181,8 @@ func main() {
 			fatal(err)
 		}
 		printPostcards(res, owner)
+	case "ops":
+		opsCmd(c, args[1:])
 	case "upgrade":
 		need(args, 2)
 		upgradeCmd(c, args[1:])
@@ -193,6 +201,144 @@ func main() {
 		fmt.Println("ok")
 	default:
 		usage()
+	}
+}
+
+// opsCmd serves the debug.ops / debug.trace / debug.flightrec verbs:
+// control-plane operation traces (NOT packet postcards — that is `trace`).
+// With --fleet it asks a fleet daemon for the merged view, where each
+// member's half of a distributed trace is stitched into the aggregator's.
+func opsCmd(c *wire.Client, args []string) {
+	var p wire.OpsParams
+	var fleetView, flightrec bool
+	var traceID string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--slow":
+			p.Slow = true
+		case "--fleet":
+			fleetView = true
+		case "--flightrec":
+			flightrec = true
+		case "--trace":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			traceID = args[i]
+		case "--verb":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			p.Verb = args[i]
+		default:
+			p.Limit = int(parse32(args[i]))
+		}
+	}
+	switch {
+	case flightrec:
+		res, err := c.DebugFlightrec()
+		if err != nil {
+			fatal(err)
+		}
+		if res.Dropped > 0 {
+			fmt.Printf("flight recorder dropped %d events to contention\n", res.Dropped)
+		}
+		for _, ev := range res.Events {
+			line := ev.At + " " + ev.Kind
+			if ev.Name != "" {
+				line += " name=" + ev.Name
+			}
+			if ev.Detail != "" {
+				line += " detail=" + ev.Detail
+			}
+			if ev.DurUs != 0 {
+				line += " dur=" + (time.Duration(ev.DurUs) * time.Microsecond).String()
+			}
+			if ev.Err != "" {
+				line += " err=" + strconv.Quote(ev.Err)
+			}
+			if ev.Trace != "" {
+				line += " trace=" + ev.Trace
+			}
+			fmt.Println(line)
+		}
+	case traceID != "":
+		tj, err := c.DebugTrace(traceID)
+		if err != nil {
+			fatal(err)
+		}
+		printTraceTree(tj)
+	default:
+		var res wire.OpsResult
+		var err error
+		if fleetView {
+			res, err = c.FleetOps(p)
+		} else {
+			res, err = c.DebugOps(p)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if len(res.Traces) == 0 {
+			fmt.Println("no traces recorded (start p4rpd with -trace)")
+			return
+		}
+		for _, tj := range res.Traces {
+			printTraceTree(tj)
+		}
+	}
+}
+
+// printTraceTree renders one trace as an indented span tree with per-span
+// latency attribution, children in start order.
+func printTraceTree(tj wire.TraceJSON) {
+	remote := ""
+	if tj.Remote {
+		remote = " (remote root)"
+	}
+	fmt.Printf("trace %s %s %s total=%v%s\n", tj.ID, tj.Verb,
+		time.Unix(0, tj.StartNs).Format(time.RFC3339Nano),
+		time.Duration(tj.DurUs)*time.Microsecond, remote)
+	kids := make(map[string][]wire.SpanJSON)
+	for _, sp := range tj.Spans {
+		kids[sp.Parent] = append(kids[sp.Parent], sp)
+	}
+	for _, sps := range kids {
+		sort.Slice(sps, func(i, j int) bool { return sps[i].StartNs < sps[j].StartNs })
+	}
+	seen := make(map[string]bool)
+	var walk func(parent, indent string)
+	walk = func(parent, indent string) {
+		for _, sp := range kids[parent] {
+			if seen[sp.ID] {
+				continue
+			}
+			seen[sp.ID] = true
+			line := indent + sp.Name + " " + (time.Duration(sp.DurUs) * time.Microsecond).String()
+			var tags []string
+			for k, v := range sp.Tags {
+				tags = append(tags, k+"="+v)
+			}
+			sort.Strings(tags)
+			for _, t := range tags {
+				line += " " + t
+			}
+			fmt.Println(line)
+			walk(sp.ID, indent+"  ")
+		}
+	}
+	// Roots: spans whose parent is absent from the trace (the root proper,
+	// and server-side halves whose parent span lives on the client).
+	ids := make(map[string]bool, len(tj.Spans))
+	for _, sp := range tj.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range tj.Spans {
+		if sp.Parent == "" || !ids[sp.Parent] {
+			walk(sp.Parent, "  ")
+		}
 	}
 }
 
@@ -484,6 +630,12 @@ commands:
   metrics [json]                           scrape the daemon's metrics registry
   top [iterations]                         per-program rate table (default 1 snapshot; 0 = live view)
   trace [owner] [limit]                    sampled packet postcards, optionally per program
+                                           (control-plane operation traces live under "ops")
+  ops [--slow] [--verb v] [limit]          recent (or slowest-per-verb) control-plane traces
+  ops --trace <id>                         one trace's full span tree by 32-hex id
+  ops --flightrec                          dump the daemon's flight recorder
+  ops --fleet ...                          fleet-merged traces (against p4rpd -fleet)
+                                           (packet postcards live under "trace")
 upgrade commands (hitless versioned replacement of a running program):
   upgrade start <program> <v2-file.p4rp>   link v2 beside v1, migrate state, gate on v1
   upgrade cutover <program> [1|2]          atomically switch which version new packets run

@@ -50,6 +50,7 @@ import (
 	"p4runpro/internal/fleet"
 	"p4runpro/internal/journal"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/telemetry"
 	"p4runpro/internal/wire"
@@ -67,7 +68,18 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /telemetry, /healthz over HTTP on this address (empty disables)")
 	postcards := flag.Int("postcards", 1024, "sample one in every N packets as a postcard (0 disables)")
 	sweepIvl := flag.Duration("sweep-interval", time.Second, "telemetry sweep cadence")
+	traceOn := flag.Bool("trace", false, "record distributed operation traces (inspect with `p4rpctl ops`)")
+	traceCap := flag.Int("trace-capacity", 256, "completed traces retained in memory")
+	flightCap := flag.Int("flightrec", 512, "flight-recorder ring size (events; dump with SIGQUIT or `p4rpctl ops --flightrec`)")
 	flag.Parse()
+
+	// The flight recorder always runs (recording is allocation-free); span
+	// tracing is opt-in via -trace. One tracer is shared by every component
+	// in the process — in fleet mode that includes all members, so a deploy's
+	// fan-out halves land in the same store the fleet merges from.
+	tracer := trace.New(trace.Options{Capacity: *traceCap})
+	tracer.SetEnabled(*traceOn)
+	flight := trace.NewFlightRecorder(*flightCap)
 
 	if *pprofAddr != "" {
 		go func() {
@@ -88,16 +100,27 @@ func main() {
 		if err != nil {
 			log.Fatalf("p4rpd: %v", err)
 		}
-		jopt = journal.Options{Sync: pol, SyncInterval: *walSyncIvl}
+		jopt = journal.Options{Sync: pol, SyncInterval: *walSyncIvl, Flight: flight}
 	}
 
 	// newController builds one control plane, recovering from (and attaching)
-	// a journal under dir when -wal is set.
+	// a journal under dir when -wal is set. Recovery attaches tracing after
+	// replay and leaves one boot event in the flight ring; a recovered boot
+	// also dumps the ring so the replay is on record even if the process
+	// dies again before anyone asks.
 	newController := func(dir string) (*controlplane.Controller, error) {
 		if *walDir == "" {
-			return controlplane.New(rmt.DefaultConfig(), opt)
+			ct, err := controlplane.New(rmt.DefaultConfig(), opt)
+			if err == nil {
+				ct.SetTracing(tracer, flight)
+			}
+			return ct, err
 		}
-		return controlplane.Recover(dir, rmt.DefaultConfig(), opt, jopt)
+		ct, err := controlplane.RecoverWithTracing(dir, rmt.DefaultConfig(), opt, jopt, tracer, flight)
+		if err == nil && len(ct.Programs()) > 0 {
+			flight.WriteJSON(os.Stderr, "boot") //nolint:errcheck // best-effort dump
+		}
+		return ct, err
 	}
 
 	// journals collects every attached journal so shutdown can flush them.
@@ -123,8 +146,8 @@ func main() {
 			return
 		}
 		go func() {
-			log.Printf("p4rpd: metrics on http://%s/metrics (telemetry: /telemetry, health: /healthz)", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, telemetry.Handler(reg, eng)); err != nil {
+			log.Printf("p4rpd: metrics on http://%s/metrics (telemetry: /telemetry, traces: /debug/traces, health: /healthz)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, telemetry.HandlerT(reg, eng, tracer, flight)); err != nil {
 				log.Printf("p4rpd: metrics listener: %v", err)
 			}
 		}()
@@ -137,6 +160,7 @@ func main() {
 			ScratchOptions: opt,
 			Logger:         logger,
 		})
+		f.SetTracing(tracer, flight)
 		for i := 0; i < *fleetN; i++ {
 			name := fmt.Sprintf("m%d", i+1)
 			ct, err := newController(filepath.Join(*walDir, name))
@@ -155,6 +179,7 @@ func main() {
 		f.Start()
 		defer f.Stop()
 		srv = fleet.NewWireServer(f, logger)
+		srv.Tracer, srv.Flight = tracer, flight
 		// The fleet daemon's HTTP surface exposes the fleet registry; the
 		// per-program fan-in lives behind `p4rpctl fleet top`.
 		serveMetrics(f.Obs, nil)
@@ -173,6 +198,7 @@ func main() {
 		track(ct)
 		eng := startEngine(ct)
 		srv = wire.NewServer(ct, logger)
+		srv.Tracer, srv.Flight = tracer, flight
 		telemetry.RegisterWire(srv, eng)
 		serveMetrics(ct.Obs, eng)
 		addr, err := srv.Listen(*listen)
@@ -186,6 +212,16 @@ func main() {
 		}
 		fmt.Println("p4rpd: metrics served via `p4rpctl metrics` (Prometheus text or json)")
 	}
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps running — the
+	// "what just happened" lever for a wedged or misbehaving daemon.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			flight.WriteJSON(os.Stderr, "sigquit") //nolint:errcheck // best-effort dump
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

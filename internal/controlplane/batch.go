@@ -9,11 +9,14 @@
 package controlplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"p4runpro/internal/journal"
+	"p4runpro/internal/obs/trace"
 )
 
 // DeployOutcome is one source blob's result in a DeployAll: either the
@@ -37,27 +40,60 @@ const MemWriteBatchChunk = 1 << 16
 // failure with no outcomes. Without it, every blob is attempted and
 // failures are reported per-blob.
 func (ct *Controller) DeployAll(sources []string, atomic bool) ([]DeployOutcome, error) {
+	return ct.DeployAllCtx(context.Background(), sources, atomic)
+}
+
+// DeployAllCtx is DeployAll under the trace carried by ctx: one
+// journal.commit child covers the batch's single group append, and one
+// apply child holds every blob's link spans.
+func (ct *Controller) DeployAllCtx(ctx context.Context, sources []string, atomic bool) ([]DeployOutcome, error) {
 	if len(sources) == 0 {
 		return nil, nil
 	}
-	if ct.jrn == nil {
-		return ct.applyDeployAll(sources, atomic, nil)
+	ctx, sp, owned := ct.opSpan(ctx, "deploy.batch")
+	if owned {
+		defer sp.End()
 	}
+	start := time.Now()
+	outcomes, err := ct.deployAllTraced(ctx, sp, sources, atomic)
+	ct.flightOp(trace.EvDeploy, "batch", strconv.Itoa(len(sources))+" sources", start, err, sp)
+	return outcomes, err
+}
+
+func (ct *Controller) deployAllTraced(ctx context.Context, sp *trace.Span, sources []string, atomic bool) ([]DeployOutcome, error) {
+	if ct.jrn == nil {
+		return ct.applyDeployAllSpanned(ctx, sp, sources, atomic, nil)
+	}
+	lstart := time.Now()
 	ct.jrn.mu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpDeployBatch, Sources: sources, Atomic: atomic}); err != nil {
+	jstart := time.Now()
+	err := ct.jrn.append(journal.Record{Op: journal.OpDeployBatch, Sources: sources, Atomic: atomic})
+	sp.ChildAt("journal.commit", jstart, time.Since(jstart))
+	if err != nil {
 		return nil, err
 	}
-	return ct.applyDeployAll(sources, atomic, ct.jrn)
+	return ct.applyDeployAllSpanned(ctx, sp, sources, atomic, ct.jrn)
+}
+
+func (ct *Controller) applyDeployAllSpanned(ctx context.Context, sp *trace.Span, sources []string, atomic bool, js *jstate) ([]DeployOutcome, error) {
+	asp := sp.Child("apply")
+	outcomes, err := ct.applyDeployAll(trace.ContextWithSpan(ctx, asp), sources, atomic, js)
+	if err != nil {
+		asp.SetTag("err", err.Error())
+	}
+	asp.End()
+	return outcomes, err
 }
 
 // applyDeployAll runs the batch; js (nil when unjournaled) receives blob
 // tracking for successful links. Caller holds the journal mutation lock
 // when js is non-nil.
-func (ct *Controller) applyDeployAll(sources []string, atomic bool, js *jstate) ([]DeployOutcome, error) {
+func (ct *Controller) applyDeployAll(ctx context.Context, sources []string, atomic bool, js *jstate) ([]DeployOutcome, error) {
 	outcomes := make([]DeployOutcome, 0, len(sources))
 	for i, src := range sources {
-		reports, err := ct.applyDeploy(src)
+		reports, err := ct.applyDeployCtx(ctx, src)
 		if err != nil && atomic {
 			// Unwind the blobs this batch already linked, newest first, so
 			// the batch is all-or-nothing like a single blob's programs.
@@ -108,20 +144,37 @@ type memArray interface {
 // data plane sees it; afterwards the writes are journaled (chunked into
 // OpMemWriteBatch records committed as one group) and applied. Returns
 // the number of buckets written.
-func (ct *Controller) WriteMemoryBatch(program, mem string, writes []MemWrite) (n int, err error) {
+func (ct *Controller) WriteMemoryBatch(program, mem string, writes []MemWrite) (int, error) {
+	return ct.WriteMemoryBatchCtx(context.Background(), program, mem, writes)
+}
+
+// WriteMemoryBatchCtx is WriteMemoryBatch under the trace carried by ctx.
+func (ct *Controller) WriteMemoryBatchCtx(ctx context.Context, program, mem string, writes []MemWrite) (n int, err error) {
 	if len(writes) == 0 {
 		return 0, nil
 	}
+	_, sp, owned := ct.opSpan(ctx, "mem.writebatch")
+	if owned {
+		defer sp.End()
+	}
 	start := time.Now()
-	defer func() { observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err) }()
+	defer func() {
+		observeOp(ct.mMemOpNs, ct.cMemOpOK, ct.cMemOpErr, start, err)
+		ct.flightOp(trace.EvMemWrite, program, mem+": "+strconv.Itoa(len(writes))+" writes", start, err, sp)
+	}()
 	if ct.jrn == nil {
+		astart := time.Now()
 		targets, err := ct.validateWrites(program, mem, writes)
 		if err != nil {
 			return 0, err
 		}
-		return applyWrites(targets)
+		n, err := applyWrites(targets)
+		sp.ChildAt("apply", astart, time.Since(astart))
+		return n, err
 	}
+	lstart := time.Now()
 	ct.jrn.mu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer ct.jrn.mu.Unlock()
 	// Validate under the mutation lock so a concurrent revoke cannot
 	// invalidate translations between validation and apply.
@@ -143,10 +196,16 @@ func (ct *Controller) WriteMemoryBatch(program, mem string, writes []MemWrite) (
 		}
 		recs = append(recs, rec)
 	}
+	jstart := time.Now()
 	if err := ct.jrn.appendBatch(recs); err != nil {
+		sp.ChildAt("journal.commit", jstart, time.Since(jstart))
 		return 0, err
 	}
-	return applyWrites(targets)
+	sp.ChildAt("journal.commit", jstart, time.Since(jstart))
+	astart := time.Now()
+	n, err = applyWrites(targets)
+	sp.ChildAt("apply", astart, time.Since(astart))
+	return n, err
 }
 
 // validateWrites translates every virtual address and resolves its

@@ -7,6 +7,7 @@
 package controlplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"p4runpro/internal/dataplane"
 	"p4runpro/internal/journal"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/rmt/compile"
@@ -63,6 +65,12 @@ type Controller struct {
 	// value keeps compilation on: every mutating operation recompiles the
 	// switch's pipeline plan after it lands.
 	compileOff atomic.Bool
+
+	// tracer and flight, when set by SetTracing, record per-operation span
+	// trees (lock wait, journal commit, apply) and flight-recorder events
+	// for every mutating operation. Nil keeps the mutation paths untraced.
+	tracer *trace.Tracer
+	flight *trace.FlightRecorder
 }
 
 // New creates a switch with cfg, provisions the P4runpro data plane once
@@ -122,8 +130,9 @@ type DeployReport struct {
 	UpdateDelay time.Duration
 	Total       time.Duration
 	// Trace is the compiler's span tree for this link (parse, translate,
-	// allocate, install), attributing the measured host-side delay.
-	Trace *obs.Span
+	// allocate, install), attributing the measured host-side delay. Nil
+	// when the deploy ran untraced.
+	Trace *trace.Node
 }
 
 // Deploy links every program in src and returns one report per program.
@@ -132,24 +141,68 @@ type DeployReport struct {
 // returns, so the blob — the unit the fleet places and fails over together
 // — is never left half-deployed.
 func (ct *Controller) Deploy(src string) ([]DeployReport, error) {
-	if ct.jrn == nil {
-		return ct.applyDeploy(src)
+	return ct.DeployCtx(context.Background(), src)
+}
+
+// DeployCtx is Deploy under the trace carried by ctx: lock wait, the
+// journal commit, and the apply (with the compiler's link phases nested
+// under it) become attributed child spans, and the operation lands in the
+// flight recorder.
+func (ct *Controller) DeployCtx(ctx context.Context, src string) ([]DeployReport, error) {
+	ctx, sp, owned := ct.opSpan(ctx, "deploy")
+	if owned {
+		defer sp.End()
 	}
+	start := time.Now()
+	reports, err := ct.deployTraced(ctx, sp, src)
+	name := ""
+	if len(reports) > 0 {
+		name = reports[0].Program
+	}
+	ct.flightOp(trace.EvDeploy, name, "", start, err, sp)
+	return reports, err
+}
+
+func (ct *Controller) deployTraced(ctx context.Context, sp *trace.Span, src string) ([]DeployReport, error) {
+	if ct.jrn == nil {
+		return ct.applySpanned(ctx, sp, src)
+	}
+	lstart := time.Now()
 	ct.jrn.mu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpDeploy, Source: src}); err != nil {
+	jstart := time.Now()
+	err := ct.jrn.append(journal.Record{Op: journal.OpDeploy, Source: src})
+	sp.ChildAt("journal.commit", jstart, time.Since(jstart))
+	if err != nil {
 		return nil, err
 	}
-	reports, err := ct.applyDeploy(src)
+	reports, err := ct.applySpanned(ctx, sp, src)
 	if err == nil {
 		ct.jrn.trackDeploy(src, reports)
 	}
 	return reports, err
 }
 
+// applySpanned runs applyDeployCtx under an "apply" child of sp, so the
+// compiler's link spans nest under the apply rather than the verb root.
+func (ct *Controller) applySpanned(ctx context.Context, sp *trace.Span, src string) ([]DeployReport, error) {
+	asp := sp.Child("apply")
+	reports, err := ct.applyDeployCtx(trace.ContextWithSpan(ctx, asp), src)
+	if err != nil {
+		asp.SetTag("err", err.Error())
+	}
+	asp.End()
+	return reports, err
+}
+
 func (ct *Controller) applyDeploy(src string) ([]DeployReport, error) {
+	return ct.applyDeployCtx(context.Background(), src)
+}
+
+func (ct *Controller) applyDeployCtx(ctx context.Context, src string) ([]DeployReport, error) {
 	start := time.Now()
-	lps, err := ct.Compiler.Link(src)
+	lps, err := ct.Compiler.LinkCtx(ctx, src)
 	if err != nil {
 		// Unwind the blob: unlink whatever part of it already made it onto
 		// the data plane, newest first, so no partial deployment survives.
@@ -193,18 +246,50 @@ type RevokeReport struct {
 
 // Revoke unlinks a program with consistent deletion ordering.
 func (ct *Controller) Revoke(name string) (RevokeReport, error) {
-	if ct.jrn == nil {
-		return ct.applyRevoke(name)
+	return ct.RevokeCtx(context.Background(), name)
+}
+
+// RevokeCtx is Revoke under the trace carried by ctx.
+func (ct *Controller) RevokeCtx(ctx context.Context, name string) (RevokeReport, error) {
+	_, sp, owned := ct.opSpan(ctx, "revoke")
+	if owned {
+		defer sp.End()
 	}
+	start := time.Now()
+	rep, err := ct.revokeTraced(sp, name)
+	ct.flightOp(trace.EvRevoke, name, "", start, err, sp)
+	return rep, err
+}
+
+func (ct *Controller) revokeTraced(sp *trace.Span, name string) (RevokeReport, error) {
+	if ct.jrn == nil {
+		return ct.applyRevokeSpanned(sp, name)
+	}
+	lstart := time.Now()
 	ct.jrn.mu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpRevoke, Name: name}); err != nil {
+	jstart := time.Now()
+	err := ct.jrn.append(journal.Record{Op: journal.OpRevoke, Name: name})
+	sp.ChildAt("journal.commit", jstart, time.Since(jstart))
+	if err != nil {
 		return RevokeReport{}, err
 	}
-	rep, err := ct.applyRevoke(name)
+	rep, err := ct.applyRevokeSpanned(sp, name)
 	if err == nil {
 		ct.jrn.trackRevoke(name)
 	}
+	return rep, err
+}
+
+func (ct *Controller) applyRevokeSpanned(sp *trace.Span, name string) (RevokeReport, error) {
+	astart := time.Now()
+	rep, err := ct.applyRevoke(name)
+	var tags []trace.Tag
+	if err != nil {
+		tags = append(tags, trace.Tag{Key: "err", Value: err.Error()})
+	}
+	sp.ChildAt("apply", astart, time.Since(astart), tags...)
 	return rep, err
 }
 

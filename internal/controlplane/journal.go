@@ -13,11 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"p4runpro/internal/core"
 	"p4runpro/internal/journal"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/upgrade"
 )
@@ -173,16 +176,40 @@ func (ct *Controller) Journal() *journal.Journal {
 // Replayed operations that fail (because their original apply failed too)
 // are counted and skipped; they left no state behind either time.
 func Recover(dir string, cfg rmt.Config, copt core.Options, jopt journal.Options) (*Controller, error) {
-	ct, err := New(cfg, copt)
+	ct, _, err := recoverJournal(dir, cfg, copt, jopt)
+	return ct, err
+}
+
+// RecoverWithTracing is Recover with a tracer and flight recorder attached
+// once replay completes — attaching them afterwards keeps a long replay
+// from flooding the flight recorder with re-applied history. The boot
+// itself lands as one "boot" event carrying the replay size and duration.
+func RecoverWithTracing(dir string, cfg rmt.Config, copt core.Options, jopt journal.Options, tr *trace.Tracer, fr *trace.FlightRecorder) (*Controller, error) {
+	start := time.Now()
+	ct, n, err := recoverJournal(dir, cfg, copt, jopt)
 	if err != nil {
 		return nil, err
+	}
+	ct.SetTracing(tr, fr)
+	fr.Record(trace.Event{
+		Kind: trace.EvBoot, Name: "recover",
+		Detail: strconv.Itoa(n) + " records replayed",
+		Dur:    time.Since(start),
+	})
+	return ct, nil
+}
+
+func recoverJournal(dir string, cfg rmt.Config, copt core.Options, jopt journal.Options) (*Controller, int, error) {
+	ct, err := New(cfg, copt)
+	if err != nil {
+		return nil, 0, err
 	}
 	if jopt.Obs == nil {
 		jopt.Obs = ct.Obs
 	}
 	j, replay, err := journal.Open(dir, jopt)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	js := newJState(j, ct.Obs)
 	js.replaying = true
@@ -193,7 +220,7 @@ func Recover(dir string, cfg rmt.Config, copt core.Options, jopt journal.Options
 		}
 	}
 	js.replaying = false
-	return ct, nil
+	return ct, len(replay), nil
 }
 
 // applyRecord dispatches one journaled mutation through the controller's

@@ -7,12 +7,14 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"p4runpro/internal/faults"
 	"p4runpro/internal/journal"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/upgrade"
 )
 
@@ -50,18 +52,56 @@ func (ct *Controller) upgradeSession(name string) (*upgrade.Session, error) {
 // SALU state, and installs the version gate pinned to v1 (see
 // internal/upgrade). Journaled write-ahead like every mutating operation.
 func (ct *Controller) UpgradePrepare(name, v2src string) (upgrade.Status, error) {
-	if ct.jrn == nil {
-		return ct.applyUpgradePrepare(name, v2src)
+	return ct.UpgradePrepareCtx(context.Background(), name, v2src)
+}
+
+// UpgradePrepareCtx is UpgradePrepare under the trace carried by ctx.
+func (ct *Controller) UpgradePrepareCtx(ctx context.Context, name, v2src string) (upgrade.Status, error) {
+	_, sp, owned := ct.opSpan(ctx, "upgrade.prepare")
+	if owned {
+		defer sp.End()
 	}
+	start := time.Now()
+	st, err := ct.upgradeTraced(sp,
+		journal.Record{Op: journal.OpUpgradePrepare, Name: name, Source: v2src},
+		func() { ct.jrn.trackUpgradePrepare(name, v2src) },
+		func() (upgrade.Status, error) { return ct.applyUpgradePrepare(name, v2src) })
+	ct.flightOp(trace.EvUpgrade, name, "prepare", start, err, sp)
+	return st, err
+}
+
+// upgradeTraced runs one upgrade transition with lock.wait, journal.commit,
+// and apply attribution on sp — the shared journaled shape of all four
+// transitions. track (nil to skip) runs after a successful journaled apply.
+func (ct *Controller) upgradeTraced(sp *trace.Span, rec journal.Record, track func(), apply func() (upgrade.Status, error)) (upgrade.Status, error) {
+	if ct.jrn == nil {
+		return ct.applyUpgradeSpanned(sp, apply)
+	}
+	lstart := time.Now()
 	ct.jrn.mu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpUpgradePrepare, Name: name, Source: v2src}); err != nil {
+	jstart := time.Now()
+	err := ct.jrn.append(rec)
+	sp.ChildAt("journal.commit", jstart, time.Since(jstart))
+	if err != nil {
 		return upgrade.Status{}, err
 	}
-	st, err := ct.applyUpgradePrepare(name, v2src)
-	if err == nil {
-		ct.jrn.trackUpgradePrepare(name, v2src)
+	st, err := ct.applyUpgradeSpanned(sp, apply)
+	if err == nil && track != nil {
+		track()
 	}
+	return st, err
+}
+
+func (ct *Controller) applyUpgradeSpanned(sp *trace.Span, apply func() (upgrade.Status, error)) (upgrade.Status, error) {
+	astart := time.Now()
+	st, err := apply()
+	var tags []trace.Tag
+	if err != nil {
+		tags = append(tags, trace.Tag{Key: "err", Value: err.Error()})
+	}
+	sp.ChildAt("apply", astart, time.Since(astart), tags...)
 	return st, err
 }
 
@@ -91,16 +131,26 @@ func (ct *Controller) applyUpgradePrepare(name, v2src string) (upgrade.Status, e
 // atomic pointer store — no table entry moves and the compiled plan stays
 // hot, so no recompile follows.
 func (ct *Controller) UpgradeCutover(name string, version int) (upgrade.Status, error) {
-	if ct.jrn == nil {
-		return ct.applyUpgradeCutover(name, version)
+	return ct.UpgradeCutoverCtx(context.Background(), name, version)
+}
+
+// UpgradeCutoverCtx is UpgradeCutover under the trace carried by ctx.
+func (ct *Controller) UpgradeCutoverCtx(ctx context.Context, name string, version int) (upgrade.Status, error) {
+	_, sp, owned := ct.opSpan(ctx, "upgrade.cutover")
+	if owned {
+		defer sp.End()
 	}
-	ct.jrn.mu.Lock()
-	defer ct.jrn.mu.Unlock()
-	rec := journal.Record{Op: journal.OpUpgradeCutover, Name: name, Value: uint32(version)}
-	if err := ct.jrn.append(rec); err != nil {
-		return upgrade.Status{}, err
+	start := time.Now()
+	detail := "to v2"
+	if version == 1 {
+		detail = "to v1"
 	}
-	return ct.applyUpgradeCutover(name, version)
+	st, err := ct.upgradeTraced(sp,
+		journal.Record{Op: journal.OpUpgradeCutover, Name: name, Value: uint32(version)},
+		nil,
+		func() (upgrade.Status, error) { return ct.applyUpgradeCutover(name, version) })
+	ct.flightOp(trace.EvCutover, name, detail, start, err, sp)
+	return st, err
 }
 
 func (ct *Controller) applyUpgradeCutover(name string, version int) (upgrade.Status, error) {
@@ -120,21 +170,24 @@ func (ct *Controller) applyUpgradeCutover(name string, version int) (upgrade.Sta
 // name and v1 is revoked. The journal record is the durability pivot — once
 // it is on disk, recovery replays to v2 even if the process dies mid-apply.
 func (ct *Controller) UpgradeCommit(name string) (upgrade.Status, error) {
+	return ct.UpgradeCommitCtx(context.Background(), name)
+}
+
+// UpgradeCommitCtx is UpgradeCommit under the trace carried by ctx.
+func (ct *Controller) UpgradeCommitCtx(ctx context.Context, name string) (upgrade.Status, error) {
 	if err := fpUpgradeCommitJournal.Check(); err != nil {
 		return upgrade.Status{}, fmt.Errorf("controlplane: upgrade commit journal: %w", err)
 	}
-	if ct.jrn == nil {
-		return ct.applyUpgradeCommit(name)
+	_, sp, owned := ct.opSpan(ctx, "upgrade.commit")
+	if owned {
+		defer sp.End()
 	}
-	ct.jrn.mu.Lock()
-	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpUpgradeCommit, Name: name}); err != nil {
-		return upgrade.Status{}, err
-	}
-	st, err := ct.applyUpgradeCommit(name)
-	if err == nil {
-		ct.jrn.trackUpgradeCommit(name)
-	}
+	start := time.Now()
+	st, err := ct.upgradeTraced(sp,
+		journal.Record{Op: journal.OpUpgradeCommit, Name: name},
+		func() { ct.jrn.trackUpgradeCommit(name) },
+		func() (upgrade.Status, error) { return ct.applyUpgradeCommit(name) })
+	ct.flightOp(trace.EvUpgrade, name, "commit", start, err, sp)
 	return st, err
 }
 
@@ -154,18 +207,21 @@ func (ct *Controller) applyUpgradeCommit(name string) (upgrade.Status, error) {
 
 // UpgradeAbort rolls the upgrade back to pure v1 and erases v2.
 func (ct *Controller) UpgradeAbort(name string) (upgrade.Status, error) {
-	if ct.jrn == nil {
-		return ct.applyUpgradeAbort(name)
+	return ct.UpgradeAbortCtx(context.Background(), name)
+}
+
+// UpgradeAbortCtx is UpgradeAbort under the trace carried by ctx.
+func (ct *Controller) UpgradeAbortCtx(ctx context.Context, name string) (upgrade.Status, error) {
+	_, sp, owned := ct.opSpan(ctx, "upgrade.abort")
+	if owned {
+		defer sp.End()
 	}
-	ct.jrn.mu.Lock()
-	defer ct.jrn.mu.Unlock()
-	if err := ct.jrn.append(journal.Record{Op: journal.OpUpgradeAbort, Name: name}); err != nil {
-		return upgrade.Status{}, err
-	}
-	st, err := ct.applyUpgradeAbort(name)
-	if err == nil {
-		ct.jrn.trackUpgradeAbort(name)
-	}
+	start := time.Now()
+	st, err := ct.upgradeTraced(sp,
+		journal.Record{Op: journal.OpUpgradeAbort, Name: name},
+		func() { ct.jrn.trackUpgradeAbort(name) },
+		func() (upgrade.Status, error) { return ct.applyUpgradeAbort(name) })
+	ct.flightOp(trace.EvUpgrade, name, "abort", start, err, sp)
 	return st, err
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"p4runpro/internal/dataplane"
 	"p4runpro/internal/lang"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/resource"
 	"p4runpro/internal/smt"
 )
@@ -127,8 +129,9 @@ type LinkStats struct {
 	MemWords   uint32
 	// Trace is the span tree of this link operation (parse, translate,
 	// allocate, install under a "link" root), for per-deployment timing
-	// attribution beyond the aggregate histograms.
-	Trace *obs.Span
+	// attribution beyond the aggregate histograms. Nil when the link ran
+	// under an untraced context.
+	Trace *trace.Node
 }
 
 // LinkedProgram is a program currently resident on the data plane.
@@ -183,6 +186,13 @@ func (lp *LinkedProgram) Blocks() map[string]resource.MemBlock {
 // source remain linked (each program is an independent unit, as in the
 // paper's workflow).
 func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
+	return c.LinkCtx(context.Background(), src)
+}
+
+// LinkCtx is Link under the trace carried by ctx: each program's link
+// becomes a "link" span with parse/translate/allocate/install children
+// under the context's current span.
+func (c *Compiler) LinkCtx(ctx context.Context, src string) ([]*LinkedProgram, error) {
 	t0 := time.Now()
 	file, err := lang.ParseFile(src)
 	if err != nil {
@@ -196,7 +206,7 @@ func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
 
 	var out []*LinkedProgram
 	for _, prog := range file.Programs {
-		lp, err := c.linkOne(prog, file.Memories, parseTime, false)
+		lp, err := c.linkOne(ctx, prog, file.Memories, t0, parseTime, false)
 		if err != nil {
 			return out, err
 		}
@@ -207,7 +217,7 @@ func (c *Compiler) Link(src string) ([]*LinkedProgram, error) {
 
 // LinkProgram links a single already-parsed program.
 func (c *Compiler) LinkProgram(prog *lang.Program, mems []lang.MemDecl) (*LinkedProgram, error) {
-	return c.linkOne(prog, mems, 0, false)
+	return c.linkOne(context.Background(), prog, mems, time.Time{}, 0, false)
 }
 
 // LinkProgramDeferredInit links a program with its initialization-block
@@ -217,10 +227,10 @@ func (c *Compiler) LinkProgram(prog *lang.Program, mems []lang.MemDecl) (*Linked
 // which packets run it; InstallDeferredInit enables the withheld entries at
 // commit.
 func (c *Compiler) LinkProgramDeferredInit(prog *lang.Program, mems []lang.MemDecl) (*LinkedProgram, error) {
-	return c.linkOne(prog, mems, 0, true)
+	return c.linkOne(context.Background(), prog, mems, time.Time{}, 0, true)
 }
 
-func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime time.Duration, deferInit bool) (*LinkedProgram, error) {
+func (c *Compiler) linkOne(ctx context.Context, prog *lang.Program, mems []lang.MemDecl, parseStart time.Time, parseTime time.Duration, deferInit bool) (lp *LinkedProgram, err error) {
 	c.mu.Lock()
 	if _, dup := c.linked[prog.Name]; dup {
 		c.mu.Unlock()
@@ -228,23 +238,33 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 	}
 	c.mu.Unlock()
 
-	span := obs.StartSpan(PhaseLink)
+	lstart := time.Now()
+	span := trace.StartChild(ctx, PhaseLink)
+	span.SetTag("program", prog.Name)
+	defer func() {
+		if err != nil {
+			span.SetTag("err", err.Error())
+		}
+		span.End()
+	}()
 	if parseTime > 0 {
-		// Parsing happened in Link before per-program work; attribute the
+		// Parsing happened in LinkCtx before per-program work; attribute the
 		// shared measurement to this program's trace.
-		span.Children = append(span.Children, &obs.Span{Name: PhaseParse, Dur: parseTime})
+		span.ChildAt(PhaseParse, parseStart, parseTime)
 	}
-	spTranslate := span.StartChild(PhaseTranslate)
+	tstart := time.Now()
 	tp, err := lang.Translate(prog, mems)
-	spTranslate.End()
-	c.observePhase(PhaseTranslate, spTranslate.Dur)
+	tdur := time.Since(tstart)
+	span.ChildAt(PhaseTranslate, tstart, tdur)
+	c.observePhase(PhaseTranslate, tdur)
 	if err != nil {
 		return nil, err
 	}
-	spAllocate := span.StartChild(PhaseAllocate)
+	astart := time.Now()
 	alloc, err := c.Allocate(tp)
-	spAllocate.End()
-	c.observePhase(PhaseAllocate, spAllocate.Dur)
+	adur := time.Since(astart)
+	span.ChildAt(PhaseAllocate, astart, adur)
+	c.observePhase(PhaseAllocate, adur)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +344,7 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 	}
 	primary := order[0]
 
-	lp := &LinkedProgram{
+	lp = &LinkedProgram{
 		Name:      prog.Name,
 		ProgramID: primary.ra.ProgramID,
 		TP:        tp,
@@ -355,7 +375,7 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 
 	// Consistent update (Figure 6): program components first, the
 	// initialization block last, each entry installed atomically.
-	spInstall := span.StartChild(PhaseInstall)
+	istart := time.Now()
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].kind < plan[j].kind })
 	for _, pe := range plan {
 		if deferInit && pe.kind == kindInit {
@@ -371,12 +391,14 @@ func (c *Compiler) linkOne(prog *lang.Program, mems []lang.MemDecl, parseTime ti
 		lp.entries = append(lp.entries, installedEntry{kind: pe.kind, table: pe.table, id: id})
 	}
 	lp.Stats.EntryCount = len(lp.entries)
-	spInstall.End()
-	c.observePhase(PhaseInstall, spInstall.Dur)
+	idur := time.Since(istart)
+	span.ChildAt(PhaseInstall, istart, idur)
+	c.observePhase(PhaseInstall, idur)
+	// The link histogram covers parse through install, so add the shared
+	// parse time measured before this program's span opened.
+	c.observePhase(PhaseLink, time.Since(lstart)+parseTime)
 	span.End()
-	span.Dur += parseTime // the root covers parse through install
-	c.observePhase(PhaseLink, span.Dur)
-	lp.Stats.Trace = span
+	lp.Stats.Trace = span.Tree()
 
 	c.mu.Lock()
 	c.linked[prog.Name] = lp

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"context"
 	"time"
 
 	"p4runpro/internal/controlplane"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/upgrade"
 	"p4runpro/internal/wire"
@@ -51,6 +53,18 @@ type UpgradeBackend interface {
 
 var _ UpgradeBackend = (*wire.Client)(nil)
 
+// TracedBackend is the optional trace-propagating surface of a member:
+// the fleet's fan-out spans travel into the member's own controller (over
+// the wire envelope for remote members, through the context for local
+// ones), stitching one distributed trace per fleet operation. Checked by
+// type assertion like TelemetryBackend; members without it are still
+// driven, their side just records no spans.
+type TracedBackend interface {
+	DeployCtx(ctx context.Context, source string) ([]wire.DeployResult, error)
+}
+
+var _ TracedBackend = (*wire.Client)(nil)
+
 // BatchBackend is the optional bulk surface of a member: many deploys or
 // memory writes accepted in one call (over the wire, one deploy.batch /
 // mem.writebatch round trip instead of N). Checked by type assertion like
@@ -83,7 +97,14 @@ func Local(ct *controlplane.Controller) *LocalBackend { return &LocalBackend{CT:
 
 // Deploy links source on the local controller.
 func (l *LocalBackend) Deploy(source string) ([]wire.DeployResult, error) {
-	reports, err := l.CT.Deploy(source)
+	return l.DeployCtx(context.Background(), source)
+}
+
+// DeployCtx links source on the local controller under the trace carried
+// by ctx, so fleet fan-out spans reach the controller's lock/journal/apply
+// attribution directly.
+func (l *LocalBackend) DeployCtx(ctx context.Context, source string) ([]wire.DeployResult, error) {
+	reports, err := l.CT.DeployCtx(ctx, source)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +117,31 @@ func (l *LocalBackend) Deploy(source string) ([]wire.DeployResult, error) {
 	}
 	return out, nil
 }
+
+var _ TracedBackend = (*LocalBackend)(nil)
+
+// DebugOps lists the local controller's recent or slowest traces, so the
+// fleet aggregator can merge a local member's trace halves exactly as it
+// does a remote one's. A member without a tracer reports no traces.
+func (l *LocalBackend) DebugOps(p wire.OpsParams) (wire.OpsResult, error) {
+	tr, _ := l.CT.Tracing()
+	res := wire.OpsResult{Traces: []wire.TraceJSON{}}
+	var snaps []trace.TraceSnap
+	if p.Slow {
+		snaps = tr.Slowest(p.Verb)
+		if p.Limit > 0 && len(snaps) > p.Limit {
+			snaps = snaps[:p.Limit]
+		}
+	} else {
+		snaps = tr.Recent(p.Limit)
+	}
+	for _, ts := range snaps {
+		res.Traces = append(res.Traces, wire.SnapToJSON(ts))
+	}
+	return res, nil
+}
+
+var _ OpsBackend = (*LocalBackend)(nil)
 
 // Revoke unlinks a local program.
 func (l *LocalBackend) Revoke(name string) (wire.RevokeResult, error) {

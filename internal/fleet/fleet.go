@@ -19,6 +19,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/core"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/wire"
 )
@@ -153,6 +155,13 @@ type Fleet struct {
 	wg   sync.WaitGroup
 
 	m fleetMetrics
+
+	// tracer and flight, when set by SetTracing, record fleet operation
+	// span trees (placement, per-member fan-out) and flight-recorder
+	// events (deploys, health transitions, reconcile decisions, rollout
+	// phases). Nil leaves the fleet untraced.
+	tracer *trace.Tracer
+	flight *trace.FlightRecorder
 }
 
 // New builds an empty fleet; add members with AddMember, then Start the
@@ -327,7 +336,19 @@ func (f *Fleet) footprint(source string) (names []string, fp Footprint, err erro
 // the policy's default when 0), and record the unit in the desired-state
 // store. Partial placement (fewer than k but at least one replica)
 // succeeds; the reconcile loop tops it up as capacity appears.
-func (f *Fleet) Deploy(source string, reps int) (res []wire.FleetDeployResult, err error) {
+func (f *Fleet) Deploy(source string, reps int) ([]wire.FleetDeployResult, error) {
+	return f.DeployCtx(context.Background(), source, reps)
+}
+
+// DeployCtx is Deploy under the trace carried by ctx: footprint
+// estimation, lock wait, and each member's deploy become attributed child
+// spans (one fan-out span per member), and the placement lands in the
+// flight recorder.
+func (f *Fleet) DeployCtx(ctx context.Context, source string, reps int) (res []wire.FleetDeployResult, err error) {
+	ctx, sp, owned := f.opSpan(ctx, "fleet.deploy")
+	if owned {
+		defer sp.End()
+	}
 	start := time.Now()
 	defer func() {
 		f.m.hPlacementNs.ObserveDuration(time.Since(start))
@@ -336,11 +357,20 @@ func (f *Fleet) Deploy(source string, reps int) (res []wire.FleetDeployResult, e
 		} else {
 			f.m.cDeployOK.Inc()
 		}
+		unit := ""
+		if len(res) > 0 {
+			unit = res[0].Unit
+		}
+		f.flightOp(trace.EvDeploy, unit, "placement", start, err, sp)
 	}()
+	lstart := time.Now()
 	f.intentMu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer f.intentMu.Unlock()
 
+	fstart := time.Now()
 	names, fp, err := f.footprint(source)
+	sp.ChildAt("footprint", fstart, time.Since(fstart))
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +390,7 @@ func (f *Fleet) Deploy(source string, reps int) (res []wire.FleetDeployResult, e
 	if err != nil {
 		return nil, err
 	}
-	placed := f.deployRanked(source, names, ranked, reps)
+	placed := f.deployRanked(ctx, source, names, ranked, reps)
 	if len(placed) == 0 {
 		return nil, fmt.Errorf("fleet: no member accepted %q (tried %d)", UnitKey(names), len(ranked))
 	}
@@ -386,8 +416,11 @@ func (f *Fleet) Deploy(source string, reps int) (res []wire.FleetDeployResult, e
 }
 
 // deployRanked walks the ranked candidates deploying source until want
-// members hold it, skipping members that reject it.
-func (f *Fleet) deployRanked(source string, programs, ranked []string, want int) []string {
+// members hold it, skipping members that reject it. Each attempt gets a
+// fan-out span under ctx's trace, which TracedBackend members carry into
+// their own controller (one stitched trace across the fleet and its
+// members).
+func (f *Fleet) deployRanked(ctx context.Context, source string, programs, ranked []string, want int) []string {
 	var placed []string
 	for _, name := range ranked {
 		if len(placed) >= want {
@@ -397,13 +430,30 @@ func (f *Fleet) deployRanked(source string, programs, ranked []string, want int)
 		if !ok {
 			continue
 		}
-		if _, err := m.b.Deploy(source); err != nil {
+		if err := deployOn(ctx, m.b, name, source); err != nil {
 			f.log.Errorf("fleet: deploy %s on %s: %v", UnitKey(programs), name, err)
 			continue
 		}
 		placed = append(placed, name)
 	}
 	return placed
+}
+
+// deployOn issues one member's deploy under a fan-out span, threading the
+// trace through when the backend supports it.
+func deployOn(ctx context.Context, b Backend, name, source string) error {
+	msp := trace.StartChild(ctx, "fanout."+name)
+	var err error
+	if tb, ok := b.(TracedBackend); ok {
+		_, err = tb.DeployCtx(trace.ContextWithSpan(ctx, msp), source)
+	} else {
+		_, err = b.Deploy(source)
+	}
+	if err != nil {
+		msp.SetTag("err", err.Error())
+	}
+	msp.End()
+	return err
 }
 
 // revokeUnitOn best-effort removes a unit's programs from one member.
@@ -438,17 +488,35 @@ func (f *Fleet) refreshUtil(names []string) {
 // Member-side failures are tolerated — a down member's copy is cleaned up
 // by the reconcile orphan pass when it returns.
 func (f *Fleet) Revoke(name string) (wire.FleetRevokeResult, error) {
+	return f.RevokeCtx(context.Background(), name)
+}
+
+// RevokeCtx is Revoke under the trace carried by ctx, with one fan-out
+// span per member holding the unit.
+func (f *Fleet) RevokeCtx(ctx context.Context, name string) (wire.FleetRevokeResult, error) {
+	ctx, sp, owned := f.opSpan(ctx, "fleet.revoke")
+	if owned {
+		defer sp.End()
+	}
+	start := time.Now()
+	lstart := start
 	f.intentMu.Lock()
+	sp.ChildAt("lock.wait", lstart, time.Since(lstart))
 	defer f.intentMu.Unlock()
 	u, ok := f.store.Resolve(name)
 	if !ok {
 		f.m.cRevokeErr.Inc()
-		return wire.FleetRevokeResult{}, fmt.Errorf("fleet: no unit for %q", name)
+		err := fmt.Errorf("fleet: no unit for %q", name)
+		f.flightOp(trace.EvRevoke, name, "", start, err, sp)
+		return wire.FleetRevokeResult{}, err
 	}
 	f.store.Delete(u.Key)
 	for _, mn := range u.Members {
+		msp := trace.StartChild(ctx, "fanout."+mn)
 		f.revokeUnitOn(mn, u.Programs)
+		msp.End()
 	}
+	f.flightOp(trace.EvRevoke, u.Key, "", start, nil, sp)
 	f.refreshUtil(u.Members)
 	f.m.cRevokeOK.Inc()
 	f.log.Infof("fleet: revoked %s from %v", u.Key, u.Members)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/wire"
 )
 
@@ -127,6 +128,7 @@ func (f *Fleet) noteSuccess(m *member, util []wire.UtilizationRow) {
 	wasDown := m.state == Down
 	if m.state != Healthy {
 		f.log.Infof("fleet: member %s healthy (was %s)", m.name, m.state)
+		f.flightEvent(trace.EvHealth, m.name, "healthy (was "+m.state.String()+")")
 	}
 	m.state = Healthy
 	m.consecFails = 0
@@ -172,11 +174,13 @@ func (f *Fleet) noteFailure(m *member, err error) {
 		if m.state != Down {
 			wentDown = true
 			f.log.Errorf("fleet: member %s down after %d failures: %v", m.name, m.consecFails, err)
+			f.flightEvent(trace.EvHealth, m.name, "down: "+err.Error())
 		}
 		m.state = Down
 	default:
 		if m.state == Healthy {
 			f.log.Errorf("fleet: member %s suspect: %v", m.name, err)
+			f.flightEvent(trace.EvHealth, m.name, "suspect: "+err.Error())
 		}
 		if m.state != Down {
 			m.state = Suspect

@@ -1,0 +1,163 @@
+// Acceptance: one fleet deploy over real TCP yields ONE distributed trace
+// whose span tree stitches every layer — client flush, fleet server
+// decode, per-member fan-out, each member's journal commit and control-
+// plane apply — across four separate tracer stores (client, fleet
+// aggregator, and each member daemon), merged by trace ID.
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"p4runpro/internal/controlplane"
+	"p4runpro/internal/core"
+	"p4runpro/internal/journal"
+	"p4runpro/internal/obs/trace"
+	"p4runpro/internal/rmt"
+	"p4runpro/internal/wire"
+)
+
+func newEnabledTracer() *trace.Tracer {
+	tr := trace.New(trace.Options{})
+	tr.SetEnabled(true)
+	return tr
+}
+
+func TestDistributedTraceAcrossFleetTCP(t *testing.T) {
+	fleetTr := newEnabledTracer()
+	flight := trace.NewFlightRecorder(0)
+	f := New(Options{Policy: ReplicateK{K: 3}})
+	f.SetTracing(fleetTr, flight)
+
+	// Three journaled member daemons on real sockets, each with its own
+	// tracer — nothing is shared in-process, so every hop below must
+	// travel as a wire trace header or the trace falls apart.
+	memberTrs := make([]*trace.Tracer, 3)
+	for i := 0; i < 3; i++ {
+		mtr := newEnabledTracer()
+		memberTrs[i] = mtr
+		ct, err := controlplane.RecoverWithTracing(t.TempDir(), rmt.DefaultConfig(),
+			core.DefaultOptions(), journal.Options{}, mtr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.NewServer(ct, nil)
+		srv.Tracer = mtr
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		mc, err := wire.Dial(addr, wire.WithDialTimeout(time.Second), wire.WithCallTimeout(5*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mc.Close() })
+		if err := f.AddMember(memberName(i), mc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The fleet itself is served over TCP too; the client dials it with
+	// its own tracer, as p4rpctl would.
+	fsrv := NewWireServer(f, nil)
+	fsrv.Tracer, fsrv.Flight = fleetTr, flight
+	faddr, err := fsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fsrv.Close() })
+	cliTr := newEnabledTracer()
+	c, err := wire.Dial(faddr, wire.WithTracer(cliTr), wire.WithCallTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	res, err := c.FleetDeploy(counterSrc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Members) != 3 {
+		t.Fatalf("deploy result = %+v, want one unit on 3 members", res)
+	}
+
+	// Stitch: the client's root trace plus the same-ID halves recorded by
+	// the fleet aggregator and each member daemon.
+	cliSnaps := cliTr.Recent(0)
+	if len(cliSnaps) != 1 || cliSnaps[0].Verb != "cli.fleet.deploy" {
+		verbs := make([]string, len(cliSnaps))
+		for i, ts := range cliSnaps {
+			verbs[i] = ts.Verb
+		}
+		t.Fatalf("client traces = %v, want one cli.fleet.deploy", verbs)
+	}
+	id := cliSnaps[0].ID
+	parts := []trace.TraceSnap{cliSnaps[0]}
+	fts, ok := fleetTr.Lookup(id)
+	if !ok {
+		t.Fatalf("fleet daemon did not join trace %s", id)
+	}
+	parts = append(parts, fts)
+	for i, mtr := range memberTrs {
+		mts, ok := mtr.Lookup(id)
+		if !ok {
+			t.Fatalf("member %s did not join trace %s", memberName(i), id)
+		}
+		if !mts.Remote {
+			t.Fatalf("member %s trace not marked remote", memberName(i))
+		}
+		parts = append(parts, mts)
+	}
+	merged := trace.MergeSnaps(parts)
+	if merged.ID != id {
+		t.Fatalf("merged trace ID = %s, want %s", merged.ID, id)
+	}
+
+	count := make(map[string]int)
+	for _, sp := range merged.Spans {
+		count[sp.Name]++
+	}
+	for _, want := range []string{
+		"cli.fleet.deploy", // client root
+		"wire.flush",       // client burst write
+		"srv.fleet.deploy", // fleet server half
+		"srv.decode",       // fleet server request decode
+		"footprint",        // fleet placement estimate
+		"cli.deploy",       // fleet→member client call
+		"srv.deploy",       // member server half
+		"journal.commit",   // member WAL group commit
+		"apply",            // member controlplane apply
+		"link",             // compiler phase tree nests under apply
+	} {
+		if count[want] == 0 {
+			t.Fatalf("merged trace missing span %q (have %v)", want, count)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if n := count["fanout."+memberName(i)]; n != 1 {
+			t.Fatalf("fanout.%s spans = %d, want exactly 1", memberName(i), n)
+		}
+	}
+	// Per-member halves arrived over the wire: one srv.deploy (and one
+	// journaled apply) per member.
+	if count["srv.deploy"] != 3 || count["journal.commit"] != 3 || count["apply"] != 3 {
+		t.Fatalf("per-member spans = srv.deploy:%d journal.commit:%d apply:%d, want 3 each",
+			count["srv.deploy"], count["journal.commit"], count["apply"])
+	}
+
+	// The flight recorder correlates the operation to the same trace.
+	var deployEv *trace.Event
+	for _, ev := range flight.Events() {
+		if ev.Kind == trace.EvDeploy {
+			ev := ev
+			deployEv = &ev
+		}
+	}
+	if deployEv == nil {
+		t.Fatal("no deploy event in the flight recorder")
+	}
+	if deployEv.Trace != id {
+		t.Fatalf("flight event trace = %s, want %s", deployEv.Trace, id)
+	}
+}

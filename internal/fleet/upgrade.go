@@ -17,9 +17,11 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/wire"
 )
 
@@ -178,6 +180,8 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 		f.m.cUpgRolledBack.Inc()
 		return res, fmt.Errorf("fleet: no member of %q accepted the v2 prepare", u.Key)
 	}
+	f.flightEvent(trace.EvUpgrade, u.Key,
+		"prepared v2 on "+strconv.Itoa(len(rollout))+"/"+strconv.Itoa(len(u.Members))+" member(s)")
 
 	rollbackAll := func(reason string) wire.FleetUpgradeResult {
 		for _, um := range rollout {
@@ -192,6 +196,7 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 		}
 		f.m.cUpgRolledBack.Inc()
 		f.log.Errorf("fleet: upgrade of %s rolled back: %s", u.Key, reason)
+		f.flightEvent(trace.EvUpgrade, u.Key, "rolled back: "+reason)
 		res.RolledBack = true
 		res.Reason = reason
 		res.Committed = nil
@@ -262,6 +267,8 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 		if len(live) == 0 {
 			continue
 		}
+		f.flightEvent(trace.EvCutover, u.Key,
+			"wave "+strconv.Itoa(res.Waves)+": "+strconv.Itoa(len(live))+" member(s) on v2")
 
 		time.Sleep(opt.Soak)
 		// Sample every soaked member concurrently, then judge in member
@@ -340,6 +347,8 @@ func (f *Fleet) Upgrade(name, v2src string, opt UpgradeOptions) (wire.FleetUpgra
 	f.m.cUpgCommitted.Inc()
 	f.log.Infof("fleet: upgraded %s on %v in %d waves (%d pinned)",
 		u.Key, res.Committed, res.Waves, len(res.Pinned))
+	f.flightEvent(trace.EvUpgrade, u.Key,
+		"committed on "+strconv.Itoa(len(res.Committed))+" member(s), "+strconv.Itoa(len(res.Pinned))+" pinned")
 	return res, nil
 }
 

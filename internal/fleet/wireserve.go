@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"log"
 	"time"
@@ -10,35 +11,36 @@ import (
 
 // RegisterWire attaches the fleet.* verbs to a wire server, making the
 // fleet drivable by wire.Client's Fleet* methods and cmd/p4rpctl's fleet
-// subcommands.
+// subcommands. Deploy and revoke thread the request context through, so
+// a traced request's span tree extends into the fan-out.
 func RegisterWire(s *wire.Server, f *Fleet) {
-	s.Handle(wire.MethodFleetDeploy, func(params json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetDeploy, func(ctx context.Context, params json.RawMessage) (any, error) {
 		var p wire.FleetDeployParams
 		if err := json.Unmarshal(params, &p); err != nil {
 			return nil, err
 		}
-		return f.Deploy(p.Source, p.Replicas)
+		return f.DeployCtx(ctx, p.Source, p.Replicas)
 	})
-	s.Handle(wire.MethodFleetRevoke, func(params json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetRevoke, func(ctx context.Context, params json.RawMessage) (any, error) {
 		var p wire.FleetRevokeParams
 		if err := json.Unmarshal(params, &p); err != nil {
 			return nil, err
 		}
-		return f.Revoke(p.Name)
+		return f.RevokeCtx(ctx, p.Name)
 	})
-	s.Handle(wire.MethodFleetPrograms, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetPrograms, func(context.Context, json.RawMessage) (any, error) {
 		return f.Programs(), nil
 	})
-	s.Handle(wire.MethodFleetMembers, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetMembers, func(context.Context, json.RawMessage) (any, error) {
 		return f.Members(), nil
 	})
-	s.Handle(wire.MethodFleetUtilization, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetUtilization, func(context.Context, json.RawMessage) (any, error) {
 		return f.Utilization(), nil
 	})
-	s.Handle(wire.MethodFleetTop, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetTop, func(context.Context, json.RawMessage) (any, error) {
 		return f.Top(), nil
 	})
-	s.Handle(wire.MethodFleetUpgrade, func(params json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetUpgrade, func(_ context.Context, params json.RawMessage) (any, error) {
 		var p wire.FleetUpgradeParams
 		if err := json.Unmarshal(params, &p); err != nil {
 			return nil, err
@@ -50,14 +52,23 @@ func RegisterWire(s *wire.Server, f *Fleet) {
 			Retries: p.Retries, RetryBackoff: time.Duration(p.RetryBackoffMs) * time.Millisecond,
 		})
 	})
-	s.Handle(wire.MethodFleetMemRead, func(params json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetMemRead, func(_ context.Context, params json.RawMessage) (any, error) {
 		var p wire.FleetMemReadParams
 		if err := json.Unmarshal(params, &p); err != nil {
 			return nil, err
 		}
 		return f.MemRead(p.Program, p.Mem, p.Addr, p.Count, p.Agg)
 	})
-	s.Handle(wire.MethodStatus, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodFleetOps, func(_ context.Context, params json.RawMessage) (any, error) {
+		var p wire.OpsParams
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &p); err != nil {
+				return nil, err
+			}
+		}
+		return f.Ops(p), nil
+	})
+	s.Handle(wire.MethodStatus, func(context.Context, json.RawMessage) (any, error) {
 		return f.String(), nil
 	})
 }

@@ -40,11 +40,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"p4runpro/internal/faults"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 )
 
 // Op enumerates the journaled control-plane mutations.
@@ -260,6 +262,10 @@ type Options struct {
 	// Obs, when set, receives the journal's metrics (append/sync/replay
 	// latency histograms, record counters, segment size gauge).
 	Obs *obs.Registry
+	// Flight, when set, receives one flight-recorder event per group
+	// commit (kind journal.sync), so the flight ring shows the durability
+	// cadence interleaved with the operations that forced it.
+	Flight *trace.FlightRecorder
 }
 
 // metrics holds the journal's observability sinks; nil when unobserved.
@@ -570,6 +576,7 @@ func (j *Journal) commitLocked(n int) error {
 		j.mu.Lock()
 	}
 	j.group = nil // close enrollment; the flush below covers every member
+	start := time.Now()
 	if j.closed {
 		g.err = ErrClosed
 	} else if err := fpGroupCommit.Check(); err != nil {
@@ -580,6 +587,14 @@ func (j *Journal) commitLocked(n int) error {
 	if g.err == nil && j.met != nil {
 		j.met.cGroups.Inc()
 		j.met.hGroupSize.Observe(uint64(g.n))
+	}
+	if fr := j.opt.Flight; fr != nil {
+		ev := trace.Event{Kind: trace.EvJournalSync, Name: "group-commit",
+			Detail: strconv.Itoa(g.n) + " append(s)", Dur: time.Since(start)}
+		if g.err != nil {
+			ev.Err = g.err.Error()
+		}
+		fr.Record(ev)
 	}
 	close(g.done)
 	return g.err

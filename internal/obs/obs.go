@@ -173,65 +173,3 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	}
 	return 0
 }
-
-// Span is one timed region of work, optionally with timed children — the
-// compiler uses a span tree to attribute a Link call to its parse,
-// translate, allocate, and install phases. Spans are not safe for
-// concurrent use; each traced operation builds its own tree.
-type Span struct {
-	Name     string
-	Dur      time.Duration
-	Children []*Span
-
-	start time.Time
-}
-
-// StartSpan begins a root span.
-func StartSpan(name string) *Span {
-	return &Span{Name: name, start: time.Now()}
-}
-
-// StartChild begins a child span under s.
-func (s *Span) StartChild(name string) *Span {
-	c := &Span{Name: name, start: time.Now()}
-	s.Children = append(s.Children, c)
-	return c
-}
-
-// End stops the span and returns its duration. Calling End twice keeps the
-// first measurement.
-func (s *Span) End() time.Duration {
-	if s.Dur == 0 && !s.start.IsZero() {
-		s.Dur = time.Since(s.start)
-	}
-	return s.Dur
-}
-
-// Walk visits the span tree depth-first, parents before children.
-func (s *Span) Walk(fn func(depth int, sp *Span)) {
-	s.walk(0, fn)
-}
-
-func (s *Span) walk(depth int, fn func(int, *Span)) {
-	fn(depth, s)
-	for _, c := range s.Children {
-		c.walk(depth+1, fn)
-	}
-}
-
-// String renders the tree on one line, e.g.
-// "link 1.2ms (parse 0.2ms, allocate 0.9ms (solve 0.8ms))".
-func (s *Span) String() string {
-	out := s.Name + " " + s.Dur.String()
-	if len(s.Children) > 0 {
-		out += " ("
-		for i, c := range s.Children {
-			if i > 0 {
-				out += ", "
-			}
-			out += c.String()
-		}
-		out += ")"
-	}
-	return out
-}

@@ -8,7 +8,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-	"time"
 )
 
 func TestCounterConcurrent(t *testing.T) {
@@ -274,51 +273,6 @@ func TestJSONExposition(t *testing.T) {
 	}
 	if got[1].Name != "b_ns" || got[1].Count != 1 || got[1].P50 != 42 {
 		t.Fatalf("summary row = %+v", got[1])
-	}
-}
-
-func TestSpanTree(t *testing.T) {
-	root := StartSpan("link")
-	child := root.StartChild("parse")
-	time.Sleep(time.Millisecond)
-	child.End()
-	grand := root.StartChild("allocate")
-	inner := grand.StartChild("solve")
-	inner.End()
-	grand.End()
-	root.End()
-
-	if root.Dur <= 0 || child.Dur <= 0 {
-		t.Fatalf("durations not recorded: root=%v child=%v", root.Dur, child.Dur)
-	}
-	if root.Dur < child.Dur {
-		t.Fatalf("parent %v shorter than child %v", root.Dur, child.Dur)
-	}
-	var names []string
-	depths := map[string]int{}
-	root.Walk(func(d int, sp *Span) {
-		names = append(names, sp.Name)
-		depths[sp.Name] = d
-	})
-	wantOrder := []string{"link", "parse", "allocate", "solve"}
-	if len(names) != len(wantOrder) {
-		t.Fatalf("walk order = %v", names)
-	}
-	for i, n := range wantOrder {
-		if names[i] != n {
-			t.Fatalf("walk order = %v, want %v", names, wantOrder)
-		}
-	}
-	if depths["solve"] != 2 || depths["parse"] != 1 || depths["link"] != 0 {
-		t.Fatalf("depths = %v", depths)
-	}
-	if s := root.String(); !strings.Contains(s, "parse") || !strings.Contains(s, "solve") {
-		t.Fatalf("String() = %q", s)
-	}
-	// End is idempotent.
-	d := root.Dur
-	if root.End() != d {
-		t.Fatal("second End changed the duration")
 	}
 }
 

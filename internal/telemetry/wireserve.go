@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 
 	"p4runpro/internal/wire"
@@ -11,10 +12,10 @@ import (
 // cmd/p4rpctl's top/trace subcommands. Mirrors fleet.RegisterWire: the
 // handlers attach through Handle so wire never imports telemetry.
 func RegisterWire(s *wire.Server, e *Engine) {
-	s.Handle(wire.MethodTelemetryPrograms, func(json.RawMessage) (any, error) {
+	s.Handle(wire.MethodTelemetryPrograms, func(context.Context, json.RawMessage) (any, error) {
 		return e.Result(), nil
 	})
-	s.Handle(wire.MethodTelemetryPostcards, func(params json.RawMessage) (any, error) {
+	s.Handle(wire.MethodTelemetryPostcards, func(_ context.Context, params json.RawMessage) (any, error) {
 		var p wire.TelemetryPostcardsParams
 		if len(params) > 0 {
 			if err := json.Unmarshal(params, &p); err != nil {

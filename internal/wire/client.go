@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"p4runpro/internal/obs/trace"
 )
 
 // Client is a typed client for the control protocol.
@@ -17,6 +20,7 @@ type Client struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 	retry       RetryPolicy
+	tracer      *trace.Tracer
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -84,6 +88,14 @@ func WithDialTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.dialTimeout = d }
 }
 
+// WithTracer records a client-side span per call into tr and stamps the
+// span context into each request's "tr" field, so client and server halves
+// stitch into one distributed trace. Calls whose context already carries a
+// span (the Ctx variants) join that trace instead of starting fresh roots.
+func WithTracer(tr *trace.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = tr }
+}
+
 // Dial connects to a daemon.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	c := &Client{addr: addr, dialTimeout: 5 * time.Second}
@@ -131,15 +143,26 @@ func (c *Client) Close() error {
 // call performs one RPC round trip, reconnecting and retrying transport
 // failures when a retry policy is set.
 func (c *Client) call(method string, params, result any) error {
-	_, err := c.callFrames(method, params, result, nil)
+	_, err := c.callFramesCtx(context.Background(), method, params, result, nil)
+	return err
+}
+
+// callCtx is call joining the trace carried by ctx, if any.
+func (c *Client) callCtx(ctx context.Context, method string, params, result any) error {
+	_, err := c.callFramesCtx(ctx, method, params, result, nil)
 	return err
 }
 
 // callFrames is call with binary frames attached to the request and
-// returned from the response (the bulk verbs). Retry semantics match
-// call: only transport failures reconnect and retry; a server-reported
-// *OpError never does.
+// returned from the response (the bulk verbs).
 func (c *Client) callFrames(method string, params, result any, reqFrames [][]byte) ([][]byte, error) {
+	return c.callFramesCtx(context.Background(), method, params, result, reqFrames)
+}
+
+// callFramesCtx performs one RPC with request frames under the trace
+// carried by ctx. Retry semantics: only transport failures reconnect and
+// retry; a server-reported *OpError never does.
+func (c *Client) callFramesCtx(ctx context.Context, method string, params, result any, reqFrames [][]byte) ([][]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	attempts := 1
@@ -156,7 +179,7 @@ func (c *Client) callFrames(method string, params, result any, reqFrames [][]byt
 		}
 		var retryable bool
 		var respFrames [][]byte
-		respFrames, retryable, err = c.roundTrip(method, params, result, reqFrames)
+		respFrames, retryable, err = c.roundTrip(ctx, method, params, result, reqFrames)
 		if err == nil {
 			return respFrames, nil
 		}
@@ -169,15 +192,34 @@ func (c *Client) callFrames(method string, params, result any, reqFrames [][]byt
 	return nil, err
 }
 
+// startCallSpan opens the client-side span for one call attempt: a child
+// of ctx's span when one is present (fan-out from a traced server), else a
+// fresh root from the client's own tracer, else the nop span.
+func (c *Client) startCallSpan(ctx context.Context, method string) *trace.Span {
+	if sp := trace.SpanFromContext(ctx); sp.Enabled() {
+		return sp.Child("cli." + method)
+	}
+	if c.tracer.Enabled() {
+		_, sp := c.tracer.Start(ctx, "cli."+method)
+		return sp
+	}
+	return trace.Nop()
+}
+
 // roundTrip writes one request (plus any binary frames) and reads its
 // response on the current connection. The bool reports whether the
 // failure was a transport error worth a reconnect. Server-side failures
 // come back as *OpError: the connection is still healthy and stays open.
 // A desynced stream (response id mismatch, corrupt frame) poisons the
 // connection so the next call redials.
-func (c *Client) roundTrip(method string, params, result any, reqFrames [][]byte) ([][]byte, bool, error) {
+func (c *Client) roundTrip(ctx context.Context, method string, params, result any, reqFrames [][]byte) ([][]byte, bool, error) {
+	sp := c.startCallSpan(ctx, method)
+	defer sp.End()
 	c.nextID++
-	req := Request{ID: c.nextID, Method: method, Frames: len(reqFrames)}
+	req := Request{ID: c.nextID, Method: method, Frames: len(reqFrames), Trace: sp.Header()}
+	if req.Trace == "" {
+		req.Trace = trace.HeaderFromContext(ctx)
+	}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {
@@ -191,7 +233,7 @@ func (c *Client) roundTrip(method string, params, result any, reqFrames [][]byte
 	}
 	buf = append(buf, '\n')
 	for _, f := range reqFrames {
-		buf = AppendFrame(buf, f)
+		buf = AppendFrameT(buf, f, sp.Context())
 	}
 	if c.callTimeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
@@ -199,11 +241,15 @@ func (c *Client) roundTrip(method string, params, result any, reqFrames [][]byte
 		}
 		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
+	wstart := time.Now()
 	if _, err := c.conn.Write(buf); err != nil {
+		sp.SetTag("err", err.Error())
 		return nil, true, err
 	}
+	sp.ChildAt("wire.flush", wstart, time.Since(wstart))
 	resp, respFrames, retryable, err := c.readResponse()
 	if err != nil {
+		sp.SetTag("err", err.Error())
 		return nil, retryable, err
 	}
 	if resp.ID != req.ID {
@@ -211,9 +257,11 @@ func (c *Client) roundTrip(method string, params, result any, reqFrames [][]byte
 		// exchange. Drop the connection so the next call starts clean.
 		c.conn.Close()
 		c.conn = nil
+		sp.SetTag("err", "response id mismatch")
 		return nil, false, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Error != "" {
+		sp.SetTag("err", resp.Error)
 		return nil, false, &OpError{Method: method, Msg: resp.Error}
 	}
 	if result != nil {
@@ -253,15 +301,25 @@ func (c *Client) readResponse() (Response, [][]byte, bool, error) {
 
 // Deploy links P4runpro source on the remote switch.
 func (c *Client) Deploy(source string) ([]DeployResult, error) {
+	return c.DeployCtx(context.Background(), source)
+}
+
+// DeployCtx is Deploy under the trace carried by ctx.
+func (c *Client) DeployCtx(ctx context.Context, source string) ([]DeployResult, error) {
 	var out []DeployResult
-	err := c.call(MethodDeploy, DeployParams{Source: source}, &out)
+	err := c.callCtx(ctx, MethodDeploy, DeployParams{Source: source}, &out)
 	return out, err
 }
 
 // Revoke unlinks a remote program.
 func (c *Client) Revoke(name string) (RevokeResult, error) {
+	return c.RevokeCtx(context.Background(), name)
+}
+
+// RevokeCtx is Revoke under the trace carried by ctx.
+func (c *Client) RevokeCtx(ctx context.Context, name string) (RevokeResult, error) {
 	var out RevokeResult
-	err := c.call(MethodRevoke, RevokeParams{Name: name}, &out)
+	err := c.callCtx(ctx, MethodRevoke, RevokeParams{Name: name}, &out)
 	return out, err
 }
 
@@ -342,30 +400,50 @@ func (c *Client) Snapshot() (SnapshotResult, error) {
 // UpgradeStart links program's v2 source alongside the running v1 on the
 // remote switch and installs the version gate (still serving v1).
 func (c *Client) UpgradeStart(program, source string) (UpgradeStatusResult, error) {
+	return c.UpgradeStartCtx(context.Background(), program, source)
+}
+
+// UpgradeStartCtx is UpgradeStart under the trace carried by ctx.
+func (c *Client) UpgradeStartCtx(ctx context.Context, program, source string) (UpgradeStatusResult, error) {
 	var out UpgradeStatusResult
-	err := c.call(MethodUpgradeStart, UpgradeStartParams{Program: program, Source: source}, &out)
+	err := c.callCtx(ctx, MethodUpgradeStart, UpgradeStartParams{Program: program, Source: source}, &out)
 	return out, err
 }
 
 // UpgradeCutover atomically flips which version new packets run (1 or 2).
 func (c *Client) UpgradeCutover(program string, version int) (UpgradeStatusResult, error) {
+	return c.UpgradeCutoverCtx(context.Background(), program, version)
+}
+
+// UpgradeCutoverCtx is UpgradeCutover under the trace carried by ctx.
+func (c *Client) UpgradeCutoverCtx(ctx context.Context, program string, version int) (UpgradeStatusResult, error) {
 	var out UpgradeStatusResult
-	err := c.call(MethodUpgradeCutover, UpgradeCutoverParams{Program: program, Version: version}, &out)
+	err := c.callCtx(ctx, MethodUpgradeCutover, UpgradeCutoverParams{Program: program, Version: version}, &out)
 	return out, err
 }
 
 // UpgradeCommit finishes a cut-over upgrade: v2 takes the program name, v1
 // is retired.
 func (c *Client) UpgradeCommit(program string) (UpgradeStatusResult, error) {
+	return c.UpgradeCommitCtx(context.Background(), program)
+}
+
+// UpgradeCommitCtx is UpgradeCommit under the trace carried by ctx.
+func (c *Client) UpgradeCommitCtx(ctx context.Context, program string) (UpgradeStatusResult, error) {
 	var out UpgradeStatusResult
-	err := c.call(MethodUpgradeCommit, UpgradeNameParams{Program: program}, &out)
+	err := c.callCtx(ctx, MethodUpgradeCommit, UpgradeNameParams{Program: program}, &out)
 	return out, err
 }
 
 // UpgradeAbort rolls an in-flight upgrade back to pure v1.
 func (c *Client) UpgradeAbort(program string) (UpgradeStatusResult, error) {
+	return c.UpgradeAbortCtx(context.Background(), program)
+}
+
+// UpgradeAbortCtx is UpgradeAbort under the trace carried by ctx.
+func (c *Client) UpgradeAbortCtx(ctx context.Context, program string) (UpgradeStatusResult, error) {
 	var out UpgradeStatusResult
-	err := c.call(MethodUpgradeAbort, UpgradeNameParams{Program: program}, &out)
+	err := c.callCtx(ctx, MethodUpgradeAbort, UpgradeNameParams{Program: program}, &out)
 	return out, err
 }
 
@@ -387,8 +465,13 @@ func (c *Client) FleetUpgrade(p FleetUpgradeParams) (FleetUpgradeResult, error) 
 // FleetDeploy places source on a fleet daemon with the given replica count
 // (0 uses the fleet default).
 func (c *Client) FleetDeploy(source string, replicas int) ([]FleetDeployResult, error) {
+	return c.FleetDeployCtx(context.Background(), source, replicas)
+}
+
+// FleetDeployCtx is FleetDeploy under the trace carried by ctx.
+func (c *Client) FleetDeployCtx(ctx context.Context, source string, replicas int) ([]FleetDeployResult, error) {
 	var out []FleetDeployResult
-	err := c.call(MethodFleetDeploy, FleetDeployParams{Source: source, Replicas: replicas}, &out)
+	err := c.callCtx(ctx, MethodFleetDeploy, FleetDeployParams{Source: source, Replicas: replicas}, &out)
 	return out, err
 }
 
@@ -449,5 +532,40 @@ func (c *Client) FleetTop() (TelemetryProgramsResult, error) {
 func (c *Client) FleetMemRead(program, mem string, addr, count uint32, agg string) (FleetMemReadResult, error) {
 	var out FleetMemReadResult
 	err := c.call(MethodFleetMemRead, FleetMemReadParams{Program: program, Mem: mem, Addr: addr, Count: count, Agg: agg}, &out)
+	return out, err
+}
+
+// Do performs an arbitrary method call under the trace carried by ctx —
+// the generic escape hatch for extension verbs without a typed wrapper.
+func (c *Client) Do(ctx context.Context, method string, params, result any) error {
+	return c.callCtx(ctx, method, params, result)
+}
+
+// DebugOps lists the daemon's recent (or, with p.Slow, slowest) traces.
+func (c *Client) DebugOps(p OpsParams) (OpsResult, error) {
+	var out OpsResult
+	err := c.call(MethodDebugOps, p, &out)
+	return out, err
+}
+
+// DebugTrace fetches one trace by its 32-hex ID.
+func (c *Client) DebugTrace(id string) (TraceJSON, error) {
+	var out TraceJSON
+	err := c.call(MethodDebugTrace, TraceGetParams{ID: id}, &out)
+	return out, err
+}
+
+// DebugFlightrec dumps the daemon's flight recorder.
+func (c *Client) DebugFlightrec() (FlightRecResult, error) {
+	var out FlightRecResult
+	err := c.call(MethodDebugFlightrec, nil, &out)
+	return out, err
+}
+
+// FleetOps lists traces merged across the fleet: the aggregator's own
+// unioned with every reachable member's, stitched by trace ID.
+func (c *Client) FleetOps(p OpsParams) (OpsResult, error) {
+	var out OpsResult
+	err := c.call(MethodFleetOps, p, &out)
 	return out, err
 }

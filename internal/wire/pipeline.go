@@ -14,11 +14,13 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
 
 	"p4runpro/internal/faults"
+	"p4runpro/internal/obs/trace"
 )
 
 // fpPipelineFlush lets chaos tests fail a pipeline flush before any byte
@@ -35,10 +37,12 @@ type PendingCall struct {
 	params json.RawMessage
 	frames [][]byte
 	result any
+	ctx    context.Context
 
 	id   int64
 	err  error
 	resp [][]byte
+	sp   *trace.Span
 }
 
 // Err returns the operation's outcome after Flush: nil, an *OpError the
@@ -70,12 +74,26 @@ func (p *Pipeline) Len() int { return len(p.calls) }
 // when non-nil, is unmarshalled from the response during Flush. The
 // returned PendingCall carries the operation's outcome after Flush.
 func (p *Pipeline) Call(method string, params, result any) *PendingCall {
-	return p.CallFrames(method, params, result, nil)
+	return p.CallFramesCtx(context.Background(), method, params, result, nil)
+}
+
+// CallCtx is Call under the trace carried by ctx: the operation gets its
+// own span, ended when its (possibly much later) pipelined response is
+// matched — so each response attaches to the right span even though many
+// operations are in flight at once.
+func (p *Pipeline) CallCtx(ctx context.Context, method string, params, result any) *PendingCall {
+	return p.CallFramesCtx(ctx, method, params, result, nil)
 }
 
 // CallFrames queues one operation with trailing binary request frames.
 func (p *Pipeline) CallFrames(method string, params, result any, frames [][]byte) *PendingCall {
-	pc := &PendingCall{Method: method, frames: frames, result: result}
+	return p.CallFramesCtx(context.Background(), method, params, result, frames)
+}
+
+// CallFramesCtx queues one operation with frames under the trace carried
+// by ctx.
+func (p *Pipeline) CallFramesCtx(ctx context.Context, method string, params, result any, frames [][]byte) *PendingCall {
+	pc := &PendingCall{Method: method, frames: frames, result: result, ctx: ctx}
 	if params != nil {
 		raw, err := json.Marshal(params)
 		if err != nil {
@@ -135,22 +153,33 @@ func (p *Pipeline) Flush() error {
 		}
 	}
 
-	// Assign ids and marshal the burst under the client lock so pipelined
-	// and plain calls share one id sequence.
+	// Assign ids, open per-operation spans, and marshal the burst under
+	// the client lock so pipelined and plain calls share one id sequence.
 	var buf []byte
 	for _, pc := range calls {
 		c.nextID++
 		pc.id = c.nextID
-		line, err := json.Marshal(&Request{ID: pc.id, Method: pc.Method, Params: pc.params, Frames: len(pc.frames)})
+		pc.sp = c.startCallSpan(pc.ctx, pc.Method)
+		line, err := json.Marshal(&Request{ID: pc.id, Method: pc.Method, Params: pc.params, Frames: len(pc.frames), Trace: pc.sp.Header()})
 		if err != nil {
+			pc.sp.End()
 			return fail(err)
 		}
 		buf = append(buf, line...)
 		buf = append(buf, '\n')
 		for _, f := range pc.frames {
-			buf = AppendFrame(buf, f)
+			buf = AppendFrameT(buf, f, pc.sp.Context())
 		}
 	}
+	endSpans := func() {
+		for _, pc := range calls {
+			if pc.err != nil {
+				pc.sp.SetTag("err", pc.err.Error())
+			}
+			pc.sp.End()
+		}
+	}
+	defer endSpans()
 
 	if c.callTimeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.callTimeout)); err != nil {
@@ -162,11 +191,14 @@ func (p *Pipeline) Flush() error {
 	// Write in the background while the foreground drains responses —
 	// otherwise a batch larger than the socket buffers deadlocks (server
 	// blocked writing responses we are not reading, us blocked writing
-	// requests it is not reading).
+	// requests it is not reading). The burst write is attributed to the
+	// first operation's span as its wire.flush child.
 	conn := c.conn
 	wrote := make(chan error, 1)
+	wstart := time.Now()
 	go func() {
 		_, err := conn.Write(buf)
+		calls[0].sp.ChildAt("wire.flush", wstart, time.Since(wstart))
 		wrote <- err
 	}()
 
@@ -183,12 +215,19 @@ func (p *Pipeline) Flush() error {
 		}
 		if resp.Error != "" {
 			pc.err = &OpError{Method: pc.Method, Msg: resp.Error}
-			continue
+		} else {
+			pc.resp = frames
+			if pc.result != nil {
+				pc.err = json.Unmarshal(resp.Result, pc.result)
+			}
 		}
-		pc.resp = frames
-		if pc.result != nil {
-			pc.err = json.Unmarshal(resp.Result, pc.result)
+		// End the span as its response is matched: each pipelined
+		// operation's duration reflects when *its* answer arrived, even
+		// with many operations in flight.
+		if pc.err != nil {
+			pc.sp.SetTag("err", pc.err.Error())
 		}
+		pc.sp.End()
 	}
 	if flushErr != nil {
 		// The stream is unusable mid-batch; drop the connection so the
@@ -213,8 +252,13 @@ func (p *Pipeline) Flush() error {
 // failure unwinds the rest and fails the call); otherwise every blob is
 // attempted and the result carries per-blob outcomes.
 func (c *Client) DeployBatch(sources []string, atomic bool) (DeployBatchResult, error) {
+	return c.DeployBatchCtx(context.Background(), sources, atomic)
+}
+
+// DeployBatchCtx is DeployBatch under the trace carried by ctx.
+func (c *Client) DeployBatchCtx(ctx context.Context, sources []string, atomic bool) (DeployBatchResult, error) {
 	var out DeployBatchResult
-	_, err := c.callFrames(MethodDeployBatch, DeployBatchParams{Sources: sources, Atomic: atomic}, &out, nil)
+	_, err := c.callFramesCtx(ctx, MethodDeployBatch, DeployBatchParams{Sources: sources, Atomic: atomic}, &out, nil)
 	return out, err
 }
 
@@ -222,8 +266,13 @@ func (c *Client) DeployBatch(sources []string, atomic bool) (DeployBatchResult, 
 // a single journaled group on the server. The (addr, value) pairs travel
 // as one binary frame, so large batches skip per-entry JSON entirely.
 func (c *Client) WriteMemoryBatch(program, mem string, writes []MemWriteEntry) (int, error) {
+	return c.WriteMemoryBatchCtx(context.Background(), program, mem, writes)
+}
+
+// WriteMemoryBatchCtx is WriteMemoryBatch under the trace carried by ctx.
+func (c *Client) WriteMemoryBatchCtx(ctx context.Context, program, mem string, writes []MemWriteEntry) (int, error) {
 	var out MemWriteBatchResult
-	_, err := c.callFrames(MethodMemWriteBatch,
+	_, err := c.callFramesCtx(ctx, MethodMemWriteBatch,
 		MemWriteBatchParams{Program: program, Mem: mem, Binary: true},
 		&out, [][]byte{EncodeWritePairs(writes)})
 	return out.Written, err

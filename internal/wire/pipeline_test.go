@@ -152,13 +152,20 @@ func TestOutOfOrderResponseIDRejected(t *testing.T) {
 // read, and the rejection arrives as a server-reported op error.
 func TestOversizedFrameRejectedTyped(t *testing.T) {
 	// Direct decode surface first: the typed errors are programmatic.
+	// (The length word's high bit is the frameTraced flag, so the largest
+	// representable length is 2^31-1; 0x40000000 is over any sane bound.)
 	big := make([]byte, frameHeader)
-	big[3] = 0x80 // length 0x80000000
+	big[3] = 0x40 // length 0x40000000
 	if _, _, err := DecodeFrame(big, 0); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("DecodeFrame err = %v, want ErrFrameTooLarge", err)
 	}
 	if _, err := ReadFrame(strings.NewReader(string(big)), 16); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("ReadFrame err = %v, want ErrFrameTooLarge", err)
+	}
+	flagged := make([]byte, frameHeader)
+	flagged[3] = 0x80 // frameTraced set, zero-length body: shorter than the trace header
+	if _, _, err := DecodeFrame(flagged, 0); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("flagged-short decode err = %v, want ErrFrameCorrupt", err)
 	}
 	corrupt := AppendFrame(nil, []byte("abc"))
 	corrupt[4] ^= 0xff // break the CRC

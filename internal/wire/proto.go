@@ -22,6 +22,11 @@ type Request struct {
 	Method string          `json:"method"`
 	Params json.RawMessage `json:"params,omitempty"`
 	Frames int             `json:"frames,omitempty"`
+	// Trace is the caller's span context ("<32 hex>-<16 hex>", see
+	// internal/obs/trace) correlating this request into a distributed
+	// trace. Optional; a missing or garbled value simply starts a fresh
+	// server-side trace — it can never fail a request.
+	Trace string `json:"tr,omitempty"`
 }
 
 // ParseRequest parses one newline-stripped request line into a Request,
@@ -582,4 +587,75 @@ type InjectResult struct {
 	OutPort  int    `json:"out_port"`
 	Passes   int    `json:"passes"`
 	FrameHex string `json:"frame_hex"` // the (possibly rewritten) packet
+}
+
+// Observability method names. debug.ops lists recent or slowest traces
+// from the server's trace store, debug.trace fetches one trace by ID, and
+// debug.flightrec dumps the flight recorder. fleet.ops is the fleet-merged
+// view: the aggregator's own traces unioned with every member's, stitched
+// by trace ID. These verbs are served even before a controller is
+// attached, so a misbehaving daemon can still be inspected.
+const (
+	MethodDebugOps       = "debug.ops"
+	MethodDebugTrace     = "debug.trace"
+	MethodDebugFlightrec = "debug.flightrec"
+	MethodFleetOps       = "fleet.ops"
+)
+
+// OpsParams filters a debug.ops / fleet.ops listing. Slow selects the
+// per-verb slow-exemplar store instead of the recency ring; Verb restricts
+// to one verb (only meaningful with Slow); Limit bounds the count
+// (0 = server default).
+type OpsParams struct {
+	Slow  bool   `json:"slow,omitempty"`
+	Verb  string `json:"verb,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// SpanJSON is one span of a trace on the wire.
+type SpanJSON struct {
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"` // unix nanoseconds
+	DurUs   int64             `json:"dur_us"`
+	Tags    map[string]string `json:"tags,omitempty"`
+}
+
+// TraceJSON is one complete trace on the wire: identity, the root verb,
+// and the flat span set (the tree is reconstructed from parent links).
+type TraceJSON struct {
+	ID      string     `json:"id"`
+	Verb    string     `json:"verb"`
+	StartNs int64      `json:"start_ns"`
+	DurUs   int64      `json:"dur_us"`
+	Remote  bool       `json:"remote,omitempty"` // root lives on another node
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// OpsResult lists traces, newest (or slowest) first.
+type OpsResult struct {
+	Traces []TraceJSON `json:"traces"`
+}
+
+// TraceGetParams names one trace by its 32-hex ID.
+type TraceGetParams struct {
+	ID string `json:"id"`
+}
+
+// FlightEventJSON is one flight-recorder event on the wire.
+type FlightEventJSON struct {
+	At     string `json:"at"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	DurUs  int64  `json:"dur_us,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+// FlightRecResult dumps the flight recorder, oldest event first.
+type FlightRecResult struct {
+	Dropped uint64            `json:"dropped,omitempty"`
+	Events  []FlightEventJSON `json:"events"`
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 	"p4runpro/internal/controlplane"
 	"p4runpro/internal/faults"
 	"p4runpro/internal/obs"
+	"p4runpro/internal/obs/trace"
 	"p4runpro/internal/pkt"
 	"p4runpro/internal/rmt"
 	"p4runpro/internal/upgrade"
@@ -41,8 +43,10 @@ const (
 	DefaultReadTimeout     = 30 * time.Second
 )
 
-// Handler serves one extension method (see Server.Handle).
-type Handler func(params json.RawMessage) (any, error)
+// Handler serves one extension method (see Server.Handle). ctx carries the
+// request's trace span (trace.SpanFromContext); handlers that don't trace
+// may ignore it.
+type Handler func(ctx context.Context, params json.RawMessage) (any, error)
 
 // Server serves the control protocol over TCP. It fronts either a single
 // Controller (the classic daemon) or, with a nil controller, only the
@@ -59,6 +63,12 @@ type Server struct {
 	// select the defaults.
 	MaxRequestBytes int
 	ReadTimeout     time.Duration
+
+	// Tracer records request spans (joined to the caller's trace via the
+	// request's "tr" field) and serves the debug.ops/debug.trace verbs.
+	// Flight backs debug.flightrec. Both optional; set before Listen.
+	Tracer *trace.Tracer
+	Flight *trace.FlightRecorder
 
 	cConns    *obs.Counter
 	gActive   *obs.Gauge
@@ -245,6 +255,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		decodeStart := time.Now()
 		resp := Response{}
 		s.cRequests.Inc()
 		var respFrames [][]byte
@@ -258,7 +269,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// count or an oversized/corrupt frame gets a typed error
 			// response and closes the connection (the stream position past
 			// the violation is unknowable).
-			frames, ferr, fatal := s.readReqFrames(conn, br, req)
+			frames, fsc, ferr, fatal := s.readReqFrames(conn, br, req)
 			if ferr != nil {
 				resp.Error = ferr.Error()
 				s.cReqErrs.Inc()
@@ -269,9 +280,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			result, rframes, err := s.dispatchFramed(req, frames)
+			ctx, sp := s.startRequestSpan(req, fsc, decodeStart)
+			result, rframes, err := s.dispatchFramed(ctx, req, frames)
 			if err != nil {
 				resp.Error = err.Error()
+				sp.SetTag("err", err.Error())
 			} else {
 				raw, err := json.Marshal(result)
 				if err != nil {
@@ -282,6 +295,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp.Frames = len(rframes)
 				}
 			}
+			sp.End()
 		}
 		if resp.Error != "" {
 			s.cReqErrs.Inc()
@@ -308,34 +322,57 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// readReqFrames reads the binary frames a parsed request announced. The
+// startRequestSpan opens the server-side span for one request, joined to
+// the caller's trace when the request line (or, failing that, the first
+// binary frame) carried a span context. A missing or garbled context
+// degrades to a fresh root trace — never an error.
+func (s *Server) startRequestSpan(req Request, fsc trace.SpanContext, decodeStart time.Time) (context.Context, *trace.Span) {
+	ctx := context.Background()
+	if !s.Tracer.Enabled() {
+		return ctx, trace.Nop()
+	}
+	sc, ok := trace.ParseHeader(req.Trace)
+	if !ok {
+		sc = fsc
+	}
+	sp := s.Tracer.StartRemote(sc, "srv."+req.Method)
+	sp.ChildAt("srv.decode", decodeStart, time.Since(decodeStart))
+	return trace.ContextWithSpan(ctx, sp), sp
+}
+
+// readReqFrames reads the binary frames a parsed request announced,
+// returning the first frame's trace header (if any) so a request whose
+// JSON line lost the "tr" field can still join its caller's trace. The
 // returned error is reported to the client; fatal additionally closes the
 // connection (frame-count violations and oversized/corrupt frames leave
 // the stream position unknowable).
-func (s *Server) readReqFrames(conn net.Conn, br *bufio.Reader, req Request) (frames [][]byte, err error, fatal bool) {
+func (s *Server) readReqFrames(conn net.Conn, br *bufio.Reader, req Request) (frames [][]byte, fsc trace.SpanContext, err error, fatal bool) {
 	if req.Frames == 0 {
-		return nil, nil, false
+		return nil, trace.SpanContext{}, nil, false
 	}
 	if req.Frames < 0 || req.Frames > MaxFramesPerMessage {
-		return nil, fmt.Errorf("%w: %d", ErrBadFrameCount, req.Frames), true
+		return nil, trace.SpanContext{}, fmt.Errorf("%w: %d", ErrBadFrameCount, req.Frames), true
 	}
 	for i := 0; i < req.Frames; i++ {
 		if err := conn.SetReadDeadline(time.Now().Add(s.ReadTimeout)); err != nil {
-			return nil, err, true
+			return nil, trace.SpanContext{}, err, true
 		}
-		f, err := ReadFrame(br, s.MaxRequestBytes)
+		f, sc, err := ReadFrameT(br, s.MaxRequestBytes)
 		if err != nil {
-			return nil, err, true
+			return nil, trace.SpanContext{}, err, true
+		}
+		if i == 0 {
+			fsc = sc
 		}
 		frames = append(frames, f)
 	}
-	return frames, nil, false
+	return frames, fsc, nil, false
 }
 
 // dispatchFramed routes the bulk verbs (which consume request frames and
 // may answer with response frames) and forwards everything else to the
 // classic JSON dispatch.
-func (s *Server) dispatchFramed(req Request, frames [][]byte) (any, [][]byte, error) {
+func (s *Server) dispatchFramed(ctx context.Context, req Request, frames [][]byte) (any, [][]byte, error) {
 	switch req.Method {
 	case MethodDeployBatch, MethodMemWriteBatch, MethodMemReadStream:
 		if _, ok := s.handler(req.Method); ok {
@@ -346,27 +383,27 @@ func (s *Server) dispatchFramed(req Request, frames [][]byte) (any, [][]byte, er
 		}
 		switch req.Method {
 		case MethodDeployBatch:
-			res, err := s.deployBatch(req.Params)
+			res, err := s.deployBatch(ctx, req.Params)
 			return res, nil, err
 		case MethodMemWriteBatch:
-			res, err := s.memWriteBatch(req.Params, frames)
+			res, err := s.memWriteBatch(ctx, req.Params, frames)
 			return res, nil, err
 		case MethodMemReadStream:
 			return s.memReadStream(req.Params)
 		}
 	}
-	result, err := s.dispatch(req)
+	result, err := s.dispatch(ctx, req)
 	return result, nil, err
 }
 
 // deployBatch links many source blobs under one controller lock and one
 // journal group.
-func (s *Server) deployBatch(params json.RawMessage) (DeployBatchResult, error) {
+func (s *Server) deployBatch(ctx context.Context, params json.RawMessage) (DeployBatchResult, error) {
 	var p DeployBatchParams
 	if err := json.Unmarshal(params, &p); err != nil {
 		return DeployBatchResult{}, err
 	}
-	outcomes, err := s.ct.DeployAll(p.Sources, p.Atomic)
+	outcomes, err := s.ct.DeployAllCtx(ctx, p.Sources, p.Atomic)
 	if err != nil {
 		return DeployBatchResult{}, err
 	}
@@ -390,7 +427,7 @@ func (s *Server) deployBatch(params json.RawMessage) (DeployBatchResult, error) 
 }
 
 // memWriteBatch writes N buckets from JSON entries or one binary frame.
-func (s *Server) memWriteBatch(params json.RawMessage, frames [][]byte) (MemWriteBatchResult, error) {
+func (s *Server) memWriteBatch(ctx context.Context, params json.RawMessage, frames [][]byte) (MemWriteBatchResult, error) {
 	var p MemWriteBatchParams
 	if err := json.Unmarshal(params, &p); err != nil {
 		return MemWriteBatchResult{}, err
@@ -410,7 +447,7 @@ func (s *Server) memWriteBatch(params json.RawMessage, frames [][]byte) (MemWrit
 	for i, e := range entries {
 		writes[i] = controlplane.MemWrite{Addr: e.Addr, Value: e.Value}
 	}
-	n, err := s.ct.WriteMemoryBatch(p.Program, p.Mem, writes)
+	n, err := s.ct.WriteMemoryBatchCtx(ctx, p.Program, p.Mem, writes)
 	if err != nil {
 		return MemWriteBatchResult{}, err
 	}
@@ -450,9 +487,19 @@ func (s *Server) memReadStream(params json.RawMessage) (any, [][]byte, error) {
 	return MemReadStreamResult{Count: uint32(len(vals)), Chunks: len(frames), ChunkWords: chunk}, frames, nil
 }
 
-func (s *Server) dispatch(req Request) (any, error) {
+func (s *Server) dispatch(ctx context.Context, req Request) (any, error) {
 	if h, ok := s.handler(req.Method); ok {
-		return h(req.Params)
+		return h(ctx, req.Params)
+	}
+	// The debug verbs are served on every server shape — bare, fleet, or
+	// single-switch — so a misbehaving daemon can always be inspected.
+	switch req.Method {
+	case MethodDebugOps:
+		return s.debugOps(req.Params)
+	case MethodDebugTrace:
+		return s.debugTrace(req.Params)
+	case MethodDebugFlightrec:
+		return s.debugFlightrec()
 	}
 	if req.Method == MethodMetrics {
 		var p MetricsParams
@@ -489,7 +536,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		reports, err := s.ct.Deploy(p.Source)
+		reports, err := s.ct.DeployCtx(ctx, p.Source)
 		if err != nil {
 			return nil, err
 		}
@@ -507,7 +554,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		r, err := s.ct.Revoke(p.Name)
+		r, err := s.ct.RevokeCtx(ctx, p.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +667,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		st, err := s.ct.UpgradePrepare(p.Program, p.Source)
+		st, err := s.ct.UpgradePrepareCtx(ctx, p.Program, p.Source)
 		if err != nil {
 			return nil, err
 		}
@@ -631,7 +678,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		st, err := s.ct.UpgradeCutover(p.Program, p.Version)
+		st, err := s.ct.UpgradeCutoverCtx(ctx, p.Program, p.Version)
 		if err != nil {
 			return nil, err
 		}
@@ -642,7 +689,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		st, err := s.ct.UpgradeCommit(p.Program)
+		st, err := s.ct.UpgradeCommitCtx(ctx, p.Program)
 		if err != nil {
 			return nil, err
 		}
@@ -653,7 +700,7 @@ func (s *Server) dispatch(req Request) (any, error) {
 		if err := json.Unmarshal(req.Params, &p); err != nil {
 			return nil, err
 		}
-		st, err := s.ct.UpgradeAbort(p.Program)
+		st, err := s.ct.UpgradeAbortCtx(ctx, p.Program)
 		if err != nil {
 			return nil, err
 		}
